@@ -1,0 +1,78 @@
+// E2 — Theorem 3.15 (convergence): virtual time to reach a conflict-free
+// configuration from an arbitrary (corrupted) starting state, as a function
+// of system size. Both corruption modes of the paper are exercised:
+// arbitrary processor state and stale channel content.
+#include "bench_common.hpp"
+
+namespace ssr::bench {
+namespace {
+
+void BM_ConvergenceFromArbitraryState(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  double total_ms = 0;
+  std::uint64_t seed = 900;
+  for (auto _ : state) {
+    harness::World w(world_config(seed));
+    boot(w, n, state);
+    harness::FaultInjector fi(w, seed * 13 + 1);
+    fi.corrupt_all_recsa();
+    fi.corrupt_all_fd();
+    fi.fill_channels_with_garbage(2);
+    const double ms = run_until(w, 900 * kSec, [&] { return w.converged(); });
+    if (ms < 0) {
+      state.SkipWithError("did not converge");
+      return;
+    }
+    total_ms += ms;
+    ++seed;
+  }
+  state.counters["converge_sim_ms"] =
+      benchmark::Counter(total_ms / static_cast<double>(state.iterations()));
+}
+
+BENCHMARK(BM_ConvergenceFromArbitraryState)
+    ->Arg(3)
+    ->Arg(5)
+    ->Arg(7)
+    ->Arg(9)
+    ->ArgName("N")
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+// Conflict-only corruption (split-brain configs, the classic scenario).
+void BM_ConvergenceFromSplitBrain(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  double total_ms = 0;
+  std::uint64_t seed = 1300;
+  for (auto _ : state) {
+    harness::World w(world_config(seed++));
+    boot(w, n, state);
+    IdSet a, b;
+    for (NodeId id = 1; id <= n; ++id) {
+      (id <= n / 2 ? a : b).insert(id);
+    }
+    harness::FaultInjector fi(w, seed);
+    fi.split_config(a, b);
+    const double ms = run_until(w, 900 * kSec, [&] { return w.converged(); });
+    if (ms < 0) {
+      state.SkipWithError("did not converge");
+      return;
+    }
+    total_ms += ms;
+  }
+  state.counters["converge_sim_ms"] =
+      benchmark::Counter(total_ms / static_cast<double>(state.iterations()));
+}
+
+BENCHMARK(BM_ConvergenceFromSplitBrain)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(8)
+    ->ArgName("N")
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+}  // namespace ssr::bench
+
+BENCHMARK_MAIN();

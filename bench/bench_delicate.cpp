@@ -1,0 +1,78 @@
+// E3 — Theorem 3.16 (closure): legal executions never change the
+// configuration spontaneously, and the latency of an explicit delicate
+// replacement scales with the barrier round-trips, not with brute force.
+#include "bench_common.hpp"
+
+namespace ssr::bench {
+namespace {
+
+// Spurious configuration changes over a long legal execution (expect 0).
+void BM_ClosureQuiescence(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  double spurious = 0;
+  std::uint64_t seed = 1500;
+  for (auto _ : state) {
+    harness::World w(world_config(seed++));
+    boot(w, n, state);
+    harness::ConfigHistoryMonitor monitor;
+    monitor.attach(w);
+    w.run_for(300 * kSec);
+    spurious += static_cast<double>(monitor.events().size());
+    if (!w.converged()) {
+      state.SkipWithError("left the legal execution");
+      return;
+    }
+  }
+  state.counters["spurious_changes"] =
+      benchmark::Counter(spurious / static_cast<double>(state.iterations()));
+}
+
+BENCHMARK(BM_ClosureQuiescence)
+    ->Arg(3)
+    ->Arg(5)
+    ->Arg(7)
+    ->ArgName("N")
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+// Latency of one explicit delicate replacement vs system size.
+void BM_DelicateLatency(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  double total_ms = 0;
+  std::uint64_t seed = 1700;
+  for (auto _ : state) {
+    harness::World w(world_config(seed++));
+    boot(w, n, state);
+    IdSet target;
+    for (NodeId id = 1; id < n; ++id) target.insert(id);
+    if (!w.node(1).recsa().estab(target)) {
+      state.SkipWithError("estab rejected");
+      return;
+    }
+    const double ms = run_until(w, 600 * kSec, [&] {
+      auto c = w.common_config();
+      return c && *c == target;
+    });
+    if (ms < 0) {
+      state.SkipWithError("replacement did not complete");
+      return;
+    }
+    total_ms += ms;
+  }
+  state.counters["replace_sim_ms"] =
+      benchmark::Counter(total_ms / static_cast<double>(state.iterations()));
+}
+
+BENCHMARK(BM_DelicateLatency)
+    ->Arg(3)
+    ->Arg(5)
+    ->Arg(7)
+    ->Arg(9)
+    ->ArgName("N")
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+}  // namespace ssr::bench
+
+BENCHMARK_MAIN();

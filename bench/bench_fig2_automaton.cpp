@@ -1,0 +1,66 @@
+// E1 — Paper Fig. 2: the configuration replacement automaton.
+//
+// Reproduces the figure behaviorally: k concurrent estab() proposals are
+// selected down to a single one (lex max), installed through the phased
+// barrier (1 → 2 → 0), and the system returns to monitoring. Reported
+// series: replacement latency, phase transitions on the proposer, number of
+// brute-force resets (must stay 0 — delicate replacement never degrades).
+#include "bench_common.hpp"
+
+namespace ssr::bench {
+namespace {
+
+void BM_DelicateReplacement(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t proposers = static_cast<std::size_t>(state.range(1));
+  double total_ms = 0;
+  double transitions = 0;
+  double resets = 0;
+  std::uint64_t seed = 500;
+  for (auto _ : state) {
+    harness::World w(world_config(seed++));
+    boot(w, n, state);
+    std::uint64_t resets_before = 0;
+    for (NodeId id = 1; id <= n; ++id) {
+      resets_before += w.node(id).recsa().stats().resets_started;
+    }
+    // k concurrent proposals for different subsets; lexical max must win.
+    for (std::size_t p = 0; p < proposers; ++p) {
+      IdSet proposal;
+      for (NodeId id = 1; id <= n; ++id) {
+        if (id != static_cast<NodeId>(n - p)) proposal.insert(id);
+      }
+      w.node(static_cast<NodeId>(p + 1)).recsa().estab(proposal);
+    }
+    const double ms =
+        run_until(w, 300 * kSec, [&] { return w.converged(); });
+    if (ms < 0) {
+      state.SkipWithError("replacement did not converge");
+      return;
+    }
+    total_ms += ms;
+    for (NodeId id = 1; id <= n; ++id) {
+      transitions += static_cast<double>(
+          w.node(id).recsa().stats().phase_transitions);
+      resets += static_cast<double>(w.node(id).recsa().stats().resets_started);
+    }
+    resets -= static_cast<double>(resets_before);
+  }
+  state.counters["replace_sim_ms"] =
+      benchmark::Counter(total_ms / static_cast<double>(state.iterations()));
+  state.counters["phase_transitions"] =
+      benchmark::Counter(transitions / static_cast<double>(state.iterations()));
+  state.counters["brute_resets"] =
+      benchmark::Counter(resets / static_cast<double>(state.iterations()));
+}
+
+BENCHMARK(BM_DelicateReplacement)
+    ->ArgsProduct({{4, 6, 8}, {1, 2, 3}})
+    ->ArgNames({"N", "proposers"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+}  // namespace
+}  // namespace ssr::bench
+
+BENCHMARK_MAIN();

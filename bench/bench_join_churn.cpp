@@ -1,0 +1,117 @@
+// E8 — §3.3 joining mechanism: latency from boot to participation as a
+// function of concurrent joiners, and the admission behaviour under a
+// crash/join churn mix. Joins never change the configuration (that is
+// recMA's job), so the config must stay put while participants grow.
+#include "bench_common.hpp"
+
+namespace ssr::bench {
+namespace {
+
+void BM_JoinLatency(benchmark::State& state) {
+  const std::size_t joiners = static_cast<std::size_t>(state.range(0));
+  double total_ms = 0;
+  std::uint64_t seed = 5100;
+  for (auto _ : state) {
+    harness::World w(world_config(seed++));
+    boot(w, 3, state);
+    const IdSet config_before = *w.common_config();
+    harness::ConfigHistoryMonitor history;
+    history.attach(w);
+    for (std::size_t j = 0; j < joiners; ++j) {
+      w.add_node(static_cast<NodeId>(4 + j));
+    }
+    const double ms = run_until(w, 900 * kSec, [&] {
+      for (std::size_t j = 0; j < joiners; ++j) {
+        if (!w.node(static_cast<NodeId>(4 + j)).recsa().is_participant()) {
+          return false;
+        }
+      }
+      return true;
+    });
+    if (ms < 0) {
+      state.SkipWithError("joiners were not admitted");
+      return;
+    }
+    total_ms += ms;
+    // Joins must not move the configuration: zero config-change events at
+    // the pre-existing members, and the same config once quiet again.
+    if (run_until(w, 300 * kSec, [&] { return w.converged(); }) < 0 ||
+        !(*w.common_config() == config_before) ||
+        history.events().size() != 0) {
+      state.SkipWithError("join changed the configuration");
+      return;
+    }
+  }
+  state.counters["join_sim_ms"] =
+      benchmark::Counter(total_ms / static_cast<double>(state.iterations()));
+}
+
+BENCHMARK(BM_JoinLatency)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(6)
+    ->ArgName("joiners")
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+// Churn waves: join one + crash one per wave; the scheme must keep one
+// conflict-free configuration through every wave (count of waves survived).
+void BM_ChurnWaves(benchmark::State& state) {
+  const std::size_t waves = static_cast<std::size_t>(state.range(0));
+  double survived = 0;
+  double total_ms = 0;
+  std::uint64_t seed = 5500;
+  for (auto _ : state) {
+    harness::World w(world_config(seed++));
+    boot(w, 5, state);
+    auto aggressive = [&](NodeId id) {
+      auto& n = w.node(id);
+      n.set_eval_conf([&n](const IdSet& cfg) {
+        return cfg.intersection_size(n.failure_detector().trusted()) <
+               cfg.size();
+      });
+    };
+    for (NodeId id = 1; id <= 5; ++id) aggressive(id);
+    NodeId next_id = 6;
+    NodeId victim = 1;
+    const SimTime start = w.scheduler().now();
+    for (std::size_t wv = 0; wv < waves; ++wv) {
+      w.add_node(next_id);
+      aggressive(next_id);
+      if (run_until(w, 900 * kSec, [&] {
+            return w.node(next_id).recsa().is_participant();
+          }) < 0) {
+        break;
+      }
+      w.crash(victim);
+      const NodeId crashed = victim;
+      if (run_until(w, 900 * kSec, [&] {
+            auto c = w.common_config();
+            return c && !c->contains(crashed);
+          }) < 0) {
+        break;
+      }
+      survived += 1;
+      ++next_id;
+      ++victim;
+    }
+    total_ms += to_ms(w.scheduler().now() - start);
+  }
+  state.counters["waves_survived"] =
+      benchmark::Counter(survived / static_cast<double>(state.iterations()));
+  state.counters["total_sim_ms"] =
+      benchmark::Counter(total_ms / static_cast<double>(state.iterations()));
+}
+
+BENCHMARK(BM_ChurnWaves)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgName("waves")
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace ssr::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,29 @@
+#include "counter/counter_store.hpp"
+
+namespace ssr::counter {
+
+CounterStore::CounterStore(NodeId self, label::StoreConfig cfg, Rng rng)
+    : label::PairStore<CounterPair>(
+          self, cfg,
+          [this, self](const std::vector<CounterPair>& known) {
+            return create(self, rng_, known);
+          }),
+      rng_(rng) {}
+
+CounterPair CounterStore::create(NodeId self, Rng& rng,
+                                 const std::vector<CounterPair>& known) {
+  std::vector<Label> labels;
+  for (const CounterPair& cp : known) {
+    if (cp.mct) labels.push_back(cp.mct->lbl);
+    if (cp.cct) labels.push_back(cp.cct->lbl);
+  }
+  // A fresh epoch starts at seqn = 0 with the creator as writer
+  // (Algorithm 4.3 interface note).
+  Counter c;
+  c.lbl = Label::next_label(self, labels, rng);
+  c.seqn = 0;
+  c.wid = self;
+  return CounterPair::of(c);
+}
+
+}  // namespace ssr::counter

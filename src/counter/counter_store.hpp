@@ -1,0 +1,20 @@
+#pragma once
+
+#include "counter/counter.hpp"
+#include "label/pair_store.hpp"
+
+namespace ssr::counter {
+
+/// Algorithm 4.2's receipt action over counter pairs (the renamed
+/// maxC[] / storedCnts[] structures of Algorithm 4.3).
+class CounterStore : public label::PairStore<CounterPair> {
+ public:
+  CounterStore(NodeId self, label::StoreConfig cfg, Rng rng);
+
+ private:
+  static CounterPair create(NodeId self, Rng& rng,
+                            const std::vector<CounterPair>& known);
+  Rng rng_;
+};
+
+}  // namespace ssr::counter

@@ -1,0 +1,165 @@
+#include "counter/increment.hpp"
+
+namespace ssr::counter {
+
+IncrementClient::IncrementClient(reconf::RecSA& recsa, CounterManager& mgr,
+                                 dlink::LinkMux& mux, NodeId self,
+                                 IncrementConfig cfg, Rng rng)
+    : recsa_(recsa), mgr_(mgr), mux_(mux), self_(self), cfg_(cfg), rng_(rng) {
+  mgr_.add_response_handler([this](NodeId from, std::uint8_t tag,
+                                   std::uint32_t op, bool abort,
+                                   const CounterPair& pair) {
+    on_response(from, tag, op, abort, pair);
+  });
+}
+
+void IncrementClient::send_read(NodeId to) {
+  wire::Writer w;
+  w.u8(CounterMsg::kReadReq);
+  w.u32(op_id_);
+  mux_.send_datagram(dlink::kPortCounter, to, w.take());
+}
+
+void IncrementClient::send_write(NodeId to) {
+  wire::Writer w;
+  w.u8(CounterMsg::kWriteReq);
+  w.u32(op_id_);
+  new_counter_.encode(w);
+  mux_.send_datagram(dlink::kPortCounter, to, w.take());
+}
+
+bool IncrementClient::begin(Callback cb) {
+  if (busy_) return false;
+  const reconf::ConfigValue cur = recsa_.get_config();
+  if (!recsa_.no_reco() || !cur.is_proper()) {
+    // Line 29 of Algorithm 4.3: increments are refused outright during
+    // reconfigurations.
+    ++stats_.aborted;
+    cb(std::nullopt);
+    return true;
+  }
+  busy_ = true;
+  phase_ = Phase::kRead;
+  // Random operation ids keep concurrent clients' responses disjoint.
+  op_id_ = static_cast<std::uint32_t>(rng_.next_u64());
+  members_ = cur.ids();
+  member_mode_ = members_.contains(self_) && mgr_.member();
+  read_replies_.clear();
+  write_acks_.clear();
+  ticks_in_op_ = 0;
+  callback_ = std::move(cb);
+  for (NodeId j : members_) {
+    if (j == self_ && member_mode_) {
+      // A member answers its own majRead locally (its maxC is authoritative).
+      mgr_.find_max();
+      read_replies_[self_] = mgr_.local_max();
+      continue;
+    }
+    send_read(j);
+  }
+  // A single-member configuration can complete the read phase immediately.
+  if (read_replies_.size() > members_.size() / 2) start_write();
+  return true;
+}
+
+void IncrementClient::on_response(NodeId from, std::uint8_t tag,
+                                  std::uint32_t op, bool abort,
+                                  const CounterPair& pair) {
+  if (!busy_ || op != op_id_) return;
+  if (abort) {
+    finish(std::nullopt);  // any Abort terminates the procedure with ⊥
+    return;
+  }
+  if (tag == CounterMsg::kReadResp && phase_ == Phase::kRead) {
+    read_replies_[from] = pair;
+    if (member_mode_) {
+      // Members fold every reply into their own structures (line 19).
+      mgr_.store().receipt(pair, CounterPair::null(), from);
+    }
+    if (read_replies_.size() > members_.size() / 2) start_write();
+    return;
+  }
+  if (tag == CounterMsg::kWriteResp && phase_ == Phase::kWrite) {
+    write_acks_.insert(from);
+    if (write_acks_.size() > members_.size() / 2) {
+      if (member_mode_) mgr_.adopt_local(new_counter_);
+      ++stats_.completed;
+      finish(new_counter_);
+    }
+    return;
+  }
+}
+
+void IncrementClient::start_write() {
+  std::optional<Counter> max_counter;
+  if (member_mode_) {
+    // Algorithm 4.4: repeat findMaxCounter() until legit ∧ ¬exhausted;
+    // find_max() mints a fresh epoch label when everything is cancelled.
+    for (unsigned i = 0; i < cfg_.find_max_attempts; ++i) {
+      mgr_.find_max();
+      const CounterPair& p = mgr_.local_max();
+      if (p.legit() && !p.exhausted(mgr_.exhaust_bound())) {
+        max_counter = *p.mct;
+        break;
+      }
+    }
+  } else {
+    // Algorithm 4.5: the best legit, non-exhausted counter returned by the
+    // majority; ⊥ if none (e.g., the epoch labels have not converged yet).
+    for (const auto& [from, p] : read_replies_) {
+      (void)from;
+      if (!p.legit() || p.exhausted(mgr_.exhaust_bound())) continue;
+      if (!max_counter || Counter::ct_less(*max_counter, *p.mct)) {
+        max_counter = *p.mct;
+      }
+    }
+  }
+  if (!max_counter) {
+    finish(std::nullopt);
+    return;
+  }
+  new_counter_ = Counter{max_counter->lbl, max_counter->seqn + 1, self_};
+  phase_ = Phase::kWrite;
+  write_acks_.clear();
+  for (NodeId j : members_) {
+    if (j == self_ && member_mode_) {
+      mgr_.store().receipt(CounterPair::of(new_counter_),
+                           CounterPair::null(), self_);
+      write_acks_.insert(self_);
+      continue;
+    }
+    send_write(j);
+  }
+  if (write_acks_.size() > members_.size() / 2) {
+    if (member_mode_) mgr_.adopt_local(new_counter_);
+    ++stats_.completed;
+    finish(new_counter_);
+  }
+}
+
+void IncrementClient::tick() {
+  if (!busy_) return;
+  ++ticks_in_op_;
+  if (!recsa_.no_reco() || ticks_in_op_ > cfg_.timeout_ticks) {
+    finish(std::nullopt);
+    return;
+  }
+  if (ticks_in_op_ % cfg_.resend_every_ticks == 0) {
+    for (NodeId j : members_) {
+      if (j == self_) continue;
+      if (phase_ == Phase::kRead && !read_replies_.count(j)) send_read(j);
+      if (phase_ == Phase::kWrite && !write_acks_.contains(j)) send_write(j);
+    }
+  }
+}
+
+void IncrementClient::finish(std::optional<Counter> result) {
+  if (!result) ++stats_.aborted;
+  busy_ = false;
+  phase_ = Phase::kIdle;
+  Callback cb = std::move(callback_);
+  callback_ = nullptr;
+  if (cb) cb(std::move(result));
+}
+
+}  // namespace ssr::counter

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <map>
+
+#include "counter/counter_algo.hpp"
+
+namespace ssr::counter {
+
+struct IncrementConfig {
+  /// Give up (return ⊥) after this many ticks without completion.
+  unsigned timeout_ticks = 120;
+  /// Retransmit outstanding requests to silent members at this cadence.
+  unsigned resend_every_ticks = 8;
+  /// findMaxCounter() repeat bound (the repeat/until of Algorithm 4.4).
+  unsigned find_max_attempts = 4;
+};
+
+struct IncrementStats {
+  std::uint64_t completed = 0;
+  std::uint64_t aborted = 0;
+};
+
+/// Counter increment — Algorithm 4.4 (configuration member) and
+/// Algorithm 4.5 (non-member participant), unified: the mode is chosen per
+/// operation from the caller's membership.
+///
+/// incrementCounter() is a two-phase quorum operation: majRead the maximal
+/// counters from a majority of the configuration, pick/construct the global
+/// maximum, increment its seqn with our write identifier, then majWrite it
+/// back to a majority. Any Abort (a member inside a reconfiguration)
+/// aborts the operation with ⊥; callers simply retry. Completed increments
+/// are strictly ordered by ≺ct (Theorem 4.6).
+class IncrementClient {
+ public:
+  /// Completion: the written counter, or std::nullopt (⊥, aborted).
+  using Callback = std::function<void(std::optional<Counter>)>;
+
+  IncrementClient(reconf::RecSA& recsa, CounterManager& mgr,
+                  dlink::LinkMux& mux, NodeId self, IncrementConfig cfg,
+                  Rng rng);
+
+  /// Starts an increment; false if one is already in flight.
+  bool begin(Callback cb);
+  /// Drives retransmissions and timeouts; call from the node's loop.
+  void tick();
+
+  bool busy() const { return busy_; }
+  const IncrementStats& stats() const { return stats_; }
+
+ private:
+  enum class Phase : std::uint8_t { kIdle, kRead, kWrite };
+
+  void on_response(NodeId from, std::uint8_t tag, std::uint32_t op, bool abort,
+                   const CounterPair& pair);
+  void start_write();
+  void send_read(NodeId to);
+  void send_write(NodeId to);
+  void finish(std::optional<Counter> result);
+
+  reconf::RecSA& recsa_;
+  CounterManager& mgr_;
+  dlink::LinkMux& mux_;
+  NodeId self_;
+  IncrementConfig cfg_;
+
+  Rng rng_{0};
+  bool busy_ = false;
+  Phase phase_ = Phase::kIdle;
+  std::uint32_t op_id_ = 0;
+  bool member_mode_ = false;
+  IdSet members_;
+  std::map<NodeId, CounterPair> read_replies_;
+  IdSet write_acks_;
+  Counter new_counter_;
+  unsigned ticks_in_op_ = 0;
+  Callback callback_;
+  IncrementStats stats_;
+};
+
+}  // namespace ssr::counter

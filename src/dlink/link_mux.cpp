@@ -1,0 +1,135 @@
+#include "dlink/link_mux.hpp"
+
+#include <utility>
+
+namespace ssr::dlink {
+
+LinkMux::LinkMux(net::Network& net, NodeId self, MuxConfig cfg, Rng rng)
+    : net_(net), self_(self), cfg_(cfg), rng_(rng) {}
+
+LinkMux::PeerState& LinkMux::ensure_peer(NodeId peer) {
+  auto it = peers_.find(peer);
+  if (it != peers_.end()) return it->second;
+  auto& ps = peers_[peer];
+  ps.link = std::make_unique<TokenLink>(
+      net_, net_.scheduler(), rng_.fork(), cfg_.link, self_, peer,
+      /*compose=*/[this, peer]() { return compose(peer); },
+      /*deliver=*/
+      [this, peer](const wire::Bytes& bundle) { deliver_bundle(peer, bundle); },
+      /*heartbeat=*/
+      [this, peer]() {
+        if (heartbeat_) heartbeat_(peer);
+      });
+  return ps;
+}
+
+void LinkMux::connect(NodeId peer) {
+  if (down_ || peer == self_) return;
+  ensure_peer(peer).link->start();
+}
+
+void LinkMux::disconnect(NodeId peer) { peers_.erase(peer); }
+
+void LinkMux::shutdown() {
+  down_ = true;
+  peers_.clear();
+}
+
+void LinkMux::publish_state(Port port, NodeId peer, wire::Bytes data) {
+  if (down_ || peer == self_) return;
+  ensure_peer(peer).state_slots[port] = std::move(data);
+  ensure_peer(peer).link->start();
+}
+
+void LinkMux::publish_state_all(Port port, const wire::Bytes& data) {
+  for (auto& [peer, ps] : peers_) {
+    (void)ps;
+    publish_state(port, peer, data);
+  }
+}
+
+void LinkMux::clear_state(Port port, NodeId peer) {
+  auto it = peers_.find(peer);
+  if (it != peers_.end()) it->second.state_slots.erase(port);
+}
+
+void LinkMux::clear_state_all(Port port) {
+  for (auto& [peer, ps] : peers_) {
+    (void)peer;
+    ps.state_slots.erase(port);
+  }
+}
+
+bool LinkMux::send_datagram(Port port, NodeId peer, wire::Bytes data) {
+  if (down_ || peer == self_) return false;
+  auto& ps = ensure_peer(peer);
+  ps.link->start();
+  auto& q = ps.datagrams[port];
+  if (q.size() >= cfg_.datagram_queue_capacity) return false;
+  q.push_back(std::move(data));
+  return true;
+}
+
+void LinkMux::subscribe(Port port, DeliverFn fn) {
+  subscribers_[port] = std::move(fn);
+}
+
+wire::Bytes LinkMux::compose(NodeId peer) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return {};
+  auto& ps = it->second;
+  std::vector<BundleItem> items;
+  for (const auto& [port, data] : ps.state_slots) {
+    items.push_back(BundleItem{port, true, data});
+  }
+  std::size_t budget = cfg_.max_datagrams_per_frame;
+  for (auto& [port, q] : ps.datagrams) {
+    while (budget > 0 && !q.empty()) {
+      items.push_back(BundleItem{port, false, std::move(q.front())});
+      q.pop_front();
+      --budget;
+    }
+  }
+  return encode_bundle(items);
+}
+
+void LinkMux::deliver_bundle(NodeId peer, const wire::Bytes& bundle) {
+  if (bundle.empty()) return;
+  auto items = decode_bundle(bundle);
+  if (!items) return;  // corrupted in flight — drop
+  for (const auto& item : *items) {
+    auto sub = subscribers_.find(item.port);
+    if (sub != subscribers_.end()) sub->second(peer, item.data);
+  }
+}
+
+void LinkMux::handle_packet(const net::Packet& pkt) {
+  if (down_) return;
+  auto frame = Frame::decode(pkt.payload);
+  if (!frame) return;  // garbage or corrupted — drop
+  // A link is named by its sender; only frames naming `self` or the actual
+  // network source are meaningful here (paper, Section 2: mismatched labels
+  // are ignored).
+  if (frame->link_sender != self_ && frame->link_sender != pkt.src) return;
+  // First contact from an unknown processor triggers the cleaning handshake
+  // before any message is delivered upward (paper, Section 2).
+  auto& ps = ensure_peer(pkt.src);
+  ps.link->start();
+  ps.link->handle_frame(*frame);
+}
+
+IdSet LinkMux::peers() const {
+  IdSet out;
+  for (const auto& [peer, ps] : peers_) {
+    (void)ps;
+    out.insert(peer);
+  }
+  return out;
+}
+
+const TokenLink* LinkMux::link(NodeId peer) const {
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? nullptr : it->second.link.get();
+}
+
+}  // namespace ssr::dlink

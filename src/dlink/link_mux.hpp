@@ -1,0 +1,95 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "dlink/token_link.hpp"
+#include "util/id_set.hpp"
+
+namespace ssr::dlink {
+
+struct MuxConfig {
+  LinkConfig link;
+  std::size_t datagram_queue_capacity = 16;
+  std::size_t max_datagrams_per_frame = 4;
+};
+
+/// Per-node multiplexer over the token links.
+///
+/// Two transfer modes, both riding the continuous token exchange:
+///  * **state slots** — one coalescing slot per (port, peer); every token
+///    round carries the latest published state. This matches the paper's
+///    algorithms, which re-broadcast their full state in every do-forever
+///    iteration: only the newest state matters, and retransmission is
+///    implicit ("a packet sent infinitely often is received infinitely
+///    often").
+///  * **datagrams** — bounded FIFO per (port, peer) for request/response
+///    style traffic (join, counter reads/writes, register ops). Overflow is
+///    reported to the caller, which retries — every user is a
+///    self-stabilizing retry loop anyway.
+class LinkMux {
+ public:
+  /// Delivery of one bundle item to a subscriber.
+  using DeliverFn = std::function<void(NodeId from, const wire::Bytes& data)>;
+  using HeartbeatFn = std::function<void(NodeId peer)>;
+
+  LinkMux(net::Network& net, NodeId self, MuxConfig cfg, Rng rng);
+  ~LinkMux() { shutdown(); }
+
+  LinkMux(const LinkMux&) = delete;
+  LinkMux& operator=(const LinkMux&) = delete;
+
+  NodeId self() const { return self_; }
+
+  /// Establishes the anti-parallel link pair with `peer` (idempotent);
+  /// starts with the snap-stabilizing cleaning handshake.
+  void connect(NodeId peer);
+  void disconnect(NodeId peer);
+  /// Cancels every timer; used on crash.
+  void shutdown();
+
+  /// Publishes the latest state for (port, peer); carried on every
+  /// subsequent token round until replaced or cleared.
+  void publish_state(Port port, NodeId peer, wire::Bytes data);
+  /// Publishes the same state to every connected peer.
+  void publish_state_all(Port port, const wire::Bytes& data);
+  void clear_state(Port port, NodeId peer);
+  void clear_state_all(Port port);
+
+  /// Enqueues a datagram; returns false if the queue is full (caller
+  /// retries on its next do-forever iteration).
+  bool send_datagram(Port port, NodeId peer, wire::Bytes data);
+
+  void subscribe(Port port, DeliverFn fn);
+  void set_heartbeat_handler(HeartbeatFn fn) { heartbeat_ = std::move(fn); }
+
+  /// Entry point wired to the Network.
+  void handle_packet(const net::Packet& pkt);
+
+  IdSet peers() const;
+  const TokenLink* link(NodeId peer) const;
+
+ private:
+  struct PeerState {
+    std::unique_ptr<TokenLink> link;
+    std::map<Port, wire::Bytes> state_slots;
+    std::map<Port, std::deque<wire::Bytes>> datagrams;
+  };
+
+  wire::Bytes compose(NodeId peer);
+  void deliver_bundle(NodeId peer, const wire::Bytes& bundle);
+  PeerState& ensure_peer(NodeId peer);
+
+  net::Network& net_;
+  NodeId self_;
+  MuxConfig cfg_;
+  Rng rng_;
+  std::map<NodeId, PeerState> peers_;
+  std::map<Port, DeliverFn> subscribers_;
+  HeartbeatFn heartbeat_;
+  bool down_ = false;
+};
+
+}  // namespace ssr::dlink

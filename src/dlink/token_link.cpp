@@ -1,0 +1,209 @@
+#include "dlink/token_link.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace ssr::dlink {
+
+wire::Bytes Frame::encode() const {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.node_id(link_sender);
+  w.u8(label);
+  if (kind == FrameKind::kData) w.bytes(payload);
+  return w.take();
+}
+
+std::optional<Frame> Frame::decode(const wire::Bytes& raw) {
+  wire::Reader r(raw);
+  Frame f;
+  const std::uint8_t kind = r.u8();
+  if (kind < 1 || kind > 4) return std::nullopt;
+  f.kind = static_cast<FrameKind>(kind);
+  f.link_sender = r.node_id();
+  f.label = r.u8();
+  if (f.kind == FrameKind::kData) f.payload = r.bytes();
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return f;
+}
+
+wire::Bytes encode_bundle(const std::vector<BundleItem>& items) {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(items.size()));
+  for (const auto& item : items) {
+    w.u8(item.port);
+    w.boolean(item.is_state);
+    w.bytes(item.data);
+  }
+  return w.take();
+}
+
+std::optional<std::vector<BundleItem>> decode_bundle(const wire::Bytes& raw) {
+  wire::Reader r(raw);
+  const std::uint8_t n = r.u8();
+  std::vector<BundleItem> items;
+  items.reserve(n);
+  for (std::uint8_t i = 0; i < n; ++i) {
+    BundleItem item;
+    item.port = r.u8();
+    item.is_state = r.boolean();
+    item.data = r.bytes();
+    if (!r.ok()) return std::nullopt;
+    items.push_back(std::move(item));
+  }
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return items;
+}
+
+TokenLink::TokenLink(net::Network& net, sim::Scheduler& sched, Rng rng,
+                     LinkConfig cfg, NodeId self, NodeId peer,
+                     ComposeFn compose, DeliverFn deliver,
+                     HeartbeatFn heartbeat)
+    : net_(net),
+      sched_(sched),
+      rng_(rng),
+      cfg_(cfg),
+      self_(self),
+      peer_(peer),
+      compose_(std::move(compose)),
+      deliver_(std::move(deliver)),
+      heartbeat_(std::move(heartbeat)) {
+  SSR_ASSERT(cfg_.label_domain >= 4, "label domain too small");
+  rx_clean_ = !cfg_.strict_clean;
+}
+
+void TokenLink::start() {
+  if (tx_state_ != TxState::kIdle) return;
+  down_ = false;
+  tx_state_ = TxState::kCleaning;
+  clean_nonce_ = static_cast<std::uint8_t>(rng_.next_below(cfg_.label_domain));
+  acks_seen_ = 0;
+  transmit_current();
+  arm_timer();
+}
+
+void TokenLink::shutdown() {
+  timer_.cancel();
+  tx_state_ = TxState::kIdle;
+  down_ = true;  // a crashed endpoint takes no further steps, not even acks
+}
+
+void TokenLink::arm_timer() {
+  timer_.cancel();
+  // Small jitter keeps links from lock-stepping in the simulation.
+  const SimTime jitter = rng_.next_below(cfg_.retransmit_period / 4 + 1);
+  timer_ = sched_.schedule_after(cfg_.retransmit_period + jitter,
+                                 [this]() { on_timer(); });
+}
+
+void TokenLink::on_timer() {
+  if (tx_state_ == TxState::kIdle) return;
+  transmit_current();
+  arm_timer();
+}
+
+void TokenLink::transmit_current() {
+  Frame f;
+  f.link_sender = self_;
+  if (tx_state_ == TxState::kCleaning) {
+    f.kind = FrameKind::kClean;
+    f.label = clean_nonce_;
+  } else {
+    f.kind = FrameKind::kData;
+    f.label = tx_label_;
+    f.payload = tx_payload_;
+  }
+  net_.send(self_, peer_, f.encode());
+}
+
+void TokenLink::begin_round() {
+  tx_label_ = static_cast<std::uint8_t>((tx_label_ + 1) % cfg_.label_domain);
+  acks_seen_ = 0;
+  tx_payload_ = compose_();
+  transmit_current();
+}
+
+void TokenLink::handle_frame(const Frame& frame) {
+  if (down_) return;
+  switch (frame.kind) {
+    case FrameKind::kData: {
+      // Receiver side of link (peer → self).
+      if (frame.link_sender != peer_) return;
+      if (!rx_clean_) {
+        // Paper §3.3: a fresh endpoint must not consume possibly-stale
+        // packets before the link is cleaned; the quarantine lifts only
+        // after more than the round-trip capacity of cleaning probes.
+        ++stats_.stale_discarded;
+        return;
+      }
+      Frame ack;
+      ack.kind = FrameKind::kAck;
+      ack.link_sender = peer_;  // names the link, i.e. its sender
+      ack.label = frame.label;
+      net_.send(self_, peer_, ack.encode());
+      const bool seen =
+          std::find(rx_recent_.begin(), rx_recent_.end(), frame.label) !=
+          rx_recent_.end();
+      if (!seen) {
+        rx_recent_.push_front(frame.label);
+        // History shorter than the label domain (else fresh labels would be
+        // rejected) but long enough to cover reordered stragglers.
+        while (rx_recent_.size() > cfg_.label_domain / 2u) rx_recent_.pop_back();
+        ++stats_.frames_delivered;
+        heartbeat_();
+        deliver_(frame.payload);
+      }
+      return;
+    }
+    case FrameKind::kAck: {
+      // Sender side of link (self → peer).
+      if (frame.link_sender != self_ || tx_state_ != TxState::kRunning) return;
+      if (frame.label != tx_label_) return;  // stale ack
+      if (++acks_seen_ > cfg_.ack_threshold) {
+        ++stats_.rounds_completed;
+        heartbeat_();
+        begin_round();
+      }
+      return;
+    }
+    case FrameKind::kClean: {
+      if (frame.link_sender != peer_) return;
+      // Reset the receiver side: everything previously in flight on this
+      // link is untrusted. The sender needs > clean_threshold CLEAN-ACKs
+      // before it transmits data, and acks are only sent on probe arrival,
+      // so by that point we have seen at least as many probes — any stale
+      // data packet has drained from the bounded channel meanwhile.
+      // The label history resets only when a *new* cleaning epoch (fresh
+      // nonce) starts; straggling probes of the current epoch must not
+      // reopen the window for already-delivered labels.
+      if (frame.label != rx_clean_nonce_ || rx_clean_count_ == 0) {
+        rx_clean_nonce_ = frame.label;
+        rx_clean_count_ = 0;
+        rx_recent_.clear();
+      }
+      ++rx_clean_count_;
+      if (rx_clean_count_ > cfg_.clean_threshold) rx_clean_ = true;
+      Frame ack;
+      ack.kind = FrameKind::kCleanAck;
+      ack.link_sender = peer_;
+      ack.label = frame.label;
+      net_.send(self_, peer_, ack.encode());
+      return;
+    }
+    case FrameKind::kCleanAck: {
+      if (frame.link_sender != self_ || tx_state_ != TxState::kCleaning) return;
+      if (frame.label != clean_nonce_) return;
+      if (++acks_seen_ > cfg_.clean_threshold) {
+        ++stats_.cleans_completed;
+        tx_state_ = TxState::kRunning;
+        tx_label_ = static_cast<std::uint8_t>(rng_.next_below(cfg_.label_domain));
+        begin_round();
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace ssr::dlink

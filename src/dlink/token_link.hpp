@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "dlink/frame.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace ssr::dlink {
+
+struct LinkConfig {
+  /// Pacing of retransmissions of the current frame / cleaning probe.
+  SimTime retransmit_period = 400 * kUsec;
+  /// How many acknowledgments carrying the current label complete a round.
+  /// The paper requires "more than the total (round-trip) capacity", i.e.
+  /// 2·cap + 1 for symmetric channels; configured by the owner from the
+  /// channel capacity.
+  std::size_t ack_threshold = 7;
+  /// Cleaning completes after more than the round-trip capacity of matching
+  /// clean-acks (paper, Section 2, snap-stabilizing data link of [15]).
+  std::size_t clean_threshold = 7;
+  /// Bounded ARQ label domain; must exceed 2·cap + 2 so a fresh label always
+  /// eventually exists outside the channels.
+  std::uint8_t label_domain = 16;
+  /// A freshly created receiver discards data until the peer's cleaning
+  /// probe has been observed (joining processors must not consume stale
+  /// packets — paper, Section 3.3).
+  bool strict_clean = true;
+};
+
+/// Both directed data links between `self` and one `peer`:
+///  * the *sender side* of link (self → peer): stop-and-wait ARQ that
+///    retransmits the current frame until more than `ack_threshold`
+///    matching acknowledgments arrive — this completes a token round trip,
+///    which doubles as the heartbeat of the (N,Θ) failure detector;
+///  * the *receiver side* of link (peer → self): delivers each fresh label
+///    once and acknowledges every data packet (acks are never spontaneous).
+class TokenLink {
+ public:
+  /// Called when the sender side may compose the next frame payload.
+  using ComposeFn = std::function<wire::Bytes()>;
+  /// Called when the receiver side delivers a fresh payload.
+  using DeliverFn = std::function<void(const wire::Bytes&)>;
+  /// Called on token progress (fresh data received / round completed).
+  using HeartbeatFn = std::function<void()>;
+
+  TokenLink(net::Network& net, sim::Scheduler& sched, Rng rng, LinkConfig cfg,
+            NodeId self, NodeId peer, ComposeFn compose, DeliverFn deliver,
+            HeartbeatFn heartbeat);
+  ~TokenLink() { shutdown(); }
+
+  TokenLink(const TokenLink&) = delete;
+  TokenLink& operator=(const TokenLink&) = delete;
+
+  /// Starts the snap-stabilizing cleaning handshake and then the ARQ.
+  void start();
+  /// Cancels all timers (crash / disconnect).
+  void shutdown();
+
+  void handle_frame(const Frame& frame);
+
+  /// Statistics for tests and benches.
+  struct Stats {
+    std::uint64_t rounds_completed = 0;   // token round trips
+    std::uint64_t frames_delivered = 0;   // fresh payloads delivered
+    std::uint64_t cleans_completed = 0;
+    std::uint64_t stale_discarded = 0;    // data discarded while dirty
+  };
+  const Stats& stats() const { return stats_; }
+  bool cleaning() const { return tx_state_ == TxState::kCleaning; }
+
+ private:
+  enum class TxState : std::uint8_t { kIdle, kCleaning, kRunning };
+
+  void arm_timer();
+  void on_timer();
+  void transmit_current();
+  void begin_round();
+
+  net::Network& net_;
+  sim::Scheduler& sched_;
+  Rng rng_;
+  LinkConfig cfg_;
+  NodeId self_;
+  NodeId peer_;
+  ComposeFn compose_;
+  DeliverFn deliver_;
+  HeartbeatFn heartbeat_;
+
+  // Sender side of link (self → peer).
+  TxState tx_state_ = TxState::kIdle;
+  std::uint8_t tx_label_ = 0;
+  std::uint8_t clean_nonce_ = 0;
+  std::size_t acks_seen_ = 0;
+  wire::Bytes tx_payload_;
+
+  // Receiver side of link (peer → self). Reordered duplicates of earlier
+  // rounds may arrive after a newer label was delivered; a short history of
+  // recently delivered labels (shorter than the label domain, longer than
+  // the round-trip capacity) filters them.
+  std::deque<std::uint8_t> rx_recent_;
+  bool rx_clean_ = false;        // quarantine lifted
+  std::uint8_t rx_clean_nonce_ = 0;
+  std::size_t rx_clean_count_ = 0;
+  bool down_ = false;
+
+  sim::Scheduler::Handle timer_;
+  Stats stats_;
+};
+
+}  // namespace ssr::dlink

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/id_set.hpp"
+#include "util/rng.hpp"
+
+namespace ssr::fd {
+
+struct FdConfig {
+  /// Upper bound N on simultaneously active processors (paper, Section 2);
+  /// entries ranked below the Nth are ignored and evicted.
+  std::size_t max_nodes = 64;
+  /// Trust threshold: a processor is trusted while its heartbeat count is
+  /// ≤ theta · (min count + 1). The "significant ever-expanding gap" of a
+  /// crashed processor eventually exceeds any fixed theta.
+  std::uint64_t theta = 10;
+};
+
+/// (N,Θ)-failure detector (paper, Section 2; extension of the Θ-detector
+/// of [6]). Each completed token exchange with pj zeroes pj's heartbeat
+/// count and increments every other count; processors are ranked by count
+/// and trusted while they stay within Θ of the freshest processor. The same
+/// vector yields the activity estimate n_i (the rank just before the gap).
+class ThetaFD {
+ public:
+  ThetaFD(NodeId self, FdConfig cfg) : self_(self), cfg_(cfg) {}
+
+  /// Token exchanged with `from` (heartbeat). New processors are admitted
+  /// with a fresh (zero) count.
+  void heartbeat(NodeId from);
+
+  /// Trusted set: always contains self; capped at N entries.
+  IdSet trusted() const;
+
+  /// Estimate n_i of the number of active processors (rank before the first
+  /// Θ-gap in the sorted count vector), including self.
+  std::size_t active_estimate() const;
+
+  /// nonCrashed vector: (processor, count) sorted by freshness.
+  std::vector<std::pair<NodeId, std::uint64_t>> ranking() const;
+
+  /// Drops an entry (e.g., when the link layer reports a disconnect).
+  void forget(NodeId id) { counts_.erase(id); }
+
+  /// Transient-fault injection: scrambles every count.
+  void inject_corruption(Rng& rng, std::uint64_t max_count = 1000);
+
+  NodeId self() const { return self_; }
+
+ private:
+  std::uint64_t limit(std::uint64_t base) const;
+
+  NodeId self_;
+  FdConfig cfg_;
+  std::map<NodeId, std::uint64_t> counts_;
+};
+
+}  // namespace ssr::fd

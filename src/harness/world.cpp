@@ -1,0 +1,132 @@
+#include "harness/world.hpp"
+
+#include "util/assert.hpp"
+
+namespace ssr::harness {
+
+World::World(WorldConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed), net_(sched_, Rng(cfg.seed ^ 0xC0FFEE), cfg.channel) {}
+
+node::Node& World::add_stopped_node(NodeId id) {
+  SSR_ASSERT(!nodes_.count(id), "node id reused — identifiers are unique");
+  auto n = std::make_unique<node::Node>(net_, id, cfg_.node, rng_.fork());
+  auto& ref = *n;
+  nodes_[id] = std::move(n);
+  return ref;
+}
+
+node::Node& World::add_node(NodeId id) {
+  node::Node& n = add_stopped_node(id);
+  boot(id);
+  return n;
+}
+
+void World::boot(NodeId id) {
+  IdSet seeds;
+  for (const auto& [other, n] : nodes_) {
+    if (other != id && n->started() && !n->crashed()) seeds.insert(other);
+  }
+  node(id).start(seeds);
+}
+
+node::Node& World::node(NodeId id) {
+  auto it = nodes_.find(id);
+  SSR_ASSERT(it != nodes_.end(), "unknown node id");
+  return *it->second;
+}
+
+void World::crash(NodeId id) { node(id).crash(); }
+
+IdSet World::alive() const {
+  IdSet out;
+  for (const auto& [id, n] : nodes_) {
+    if (n->started() && !n->crashed()) out.insert(id);
+  }
+  return out;
+}
+
+IdSet World::all_ids() const {
+  IdSet out;
+  for (const auto& [id, n] : nodes_) {
+    (void)n;
+    out.insert(id);
+  }
+  return out;
+}
+
+bool World::converged() const {
+  std::optional<IdSet> common;
+  bool any = false;
+  for (const auto& [id, n] : nodes_) {
+    (void)id;
+    if (!n->started() || n->crashed()) continue;
+    any = true;
+    if (!n->recsa().no_reco()) return false;
+    const reconf::ConfigValue c = n->recsa().get_config();
+    if (!c.is_proper()) return false;
+    if (!common) {
+      common = c.ids();
+    } else if (!(*common == c.ids())) {
+      return false;
+    }
+  }
+  return any;
+}
+
+std::optional<IdSet> World::common_config() const {
+  if (!converged()) return std::nullopt;
+  for (const auto& [id, n] : nodes_) {
+    (void)id;
+    if (n->started() && !n->crashed()) return n->recsa().get_config().ids();
+  }
+  return std::nullopt;
+}
+
+std::optional<SimTime> World::run_until_converged(SimTime timeout,
+                                                  SimTime check_every) {
+  const SimTime start = sched_.now();
+  const SimTime deadline = start + timeout;
+  while (sched_.now() < deadline) {
+    if (converged()) return sched_.now() - start;
+    run_for(check_every);
+  }
+  return converged() ? std::optional<SimTime>(sched_.now() - start)
+                     : std::nullopt;
+}
+
+bool World::vs_stable() const {
+  if (!converged()) return false;
+  std::optional<vs::View> common;
+  NodeId crd = kNoNode;
+  for (const auto& [id, n] : nodes_) {
+    (void)id;
+    if (!n->started() || n->crashed()) continue;
+    vs::VsSmr* v = const_cast<node::Node&>(*n).vs();
+    if (v == nullptr) return false;
+    if (!n->recsa().is_participant()) continue;
+    if (v->status() != vs::Status::kMulticast) return false;
+    if (v->view().is_null()) return false;
+    if (v->no_coordinator()) return false;
+    if (!common) {
+      common = v->view();
+      crd = v->coordinator();
+    } else if (!(*common == v->view()) || crd != v->coordinator()) {
+      return false;
+    }
+  }
+  return common.has_value();
+}
+
+std::optional<SimTime> World::run_until_vs_stable(SimTime timeout,
+                                                  SimTime check_every) {
+  const SimTime start = sched_.now();
+  const SimTime deadline = start + timeout;
+  while (sched_.now() < deadline) {
+    if (vs_stable()) return sched_.now() - start;
+    run_for(check_every);
+  }
+  return vs_stable() ? std::optional<SimTime>(sched_.now() - start)
+                     : std::nullopt;
+}
+
+}  // namespace ssr::harness

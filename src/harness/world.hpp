@@ -1,0 +1,79 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "node/node.hpp"
+
+namespace ssr::harness {
+
+struct WorldConfig {
+  std::uint64_t seed = 1;
+  net::ChannelConfig channel;
+  node::NodeConfig node;
+
+  WorldConfig() {
+    // The data-link thresholds follow the channel capacity ("more than the
+    // total round-trip capacity" — paper, Section 2).
+    channel.capacity = 3;
+    node.mux.link.ack_threshold = 2 * channel.capacity + 1;
+    node.mux.link.clean_threshold = 2 * channel.capacity + 1;
+  }
+};
+
+/// Simulation world: scheduler + network + a set of full protocol nodes.
+/// This is the entry point used by the examples, the integration tests and
+/// every bench scenario.
+class World {
+ public:
+  explicit World(WorldConfig cfg);
+
+  /// Creates and boots a node, seeding its links with all currently alive
+  /// nodes. Returns the node (owned by the world).
+  node::Node& add_node(NodeId id);
+  /// Creates a node without booting it (tests that need pre-boot wiring).
+  node::Node& add_stopped_node(NodeId id);
+  void boot(NodeId id);
+
+  node::Node& node(NodeId id);
+  bool has_node(NodeId id) const { return nodes_.count(id) != 0; }
+  void crash(NodeId id);
+
+  IdSet alive() const;
+  IdSet all_ids() const;
+
+  sim::Scheduler& scheduler() { return sched_; }
+  net::Network& network() { return net_; }
+  const WorldConfig& config() const { return cfg_; }
+  Rng& rng() { return rng_; }
+
+  void run_for(SimTime d) { sched_.run_for(d); }
+  void run_until(SimTime t) { sched_.run_until(t); }
+
+  // -- Convergence predicates (legal-execution detectors) --------------------
+
+  /// True when every alive node reports noReco() and the same proper
+  /// configuration — the conflict-free state of Theorem 3.15.
+  bool converged() const;
+  /// The common configuration when converged.
+  std::optional<IdSet> common_config() const;
+  /// Runs until converged() holds (checked every `check_every`); returns
+  /// the virtual time spent, or nullopt on timeout.
+  std::optional<SimTime> run_until_converged(SimTime timeout,
+                                             SimTime check_every = 20 * kMsec);
+  /// True when every alive node's VS layer agrees on one installed view
+  /// containing a configuration majority, with a single coordinator.
+  bool vs_stable() const;
+  std::optional<SimTime> run_until_vs_stable(SimTime timeout,
+                                             SimTime check_every = 20 * kMsec);
+
+ private:
+  WorldConfig cfg_;
+  Rng rng_;
+  sim::Scheduler sched_;
+  net::Network net_;
+  std::map<NodeId, std::unique_ptr<node::Node>> nodes_;
+};
+
+}  // namespace ssr::harness

@@ -1,0 +1,24 @@
+#include "label/label_store.hpp"
+
+namespace ssr::label {
+
+LabelStore::LabelStore(NodeId self, StoreConfig cfg, Rng rng)
+    : PairStore<LabelPair>(self, cfg,
+                           [this, self](const std::vector<LabelPair>& known) {
+                             return create(self, rng_, known);
+                           }),
+      rng_(rng) {}
+
+LabelPair LabelStore::create(NodeId self, Rng& rng,
+                             const std::vector<LabelPair>& known) {
+  // nextLabel() considers both ml and cl of every stored own pair
+  // (Algorithm 4.2, line 16 comment).
+  std::vector<Label> labels;
+  for (const LabelPair& lp : known) {
+    if (lp.ml) labels.push_back(*lp.ml);
+    if (lp.cl) labels.push_back(*lp.cl);
+  }
+  return LabelPair::of(Label::next_label(self, labels, rng));
+}
+
+}  // namespace ssr::label

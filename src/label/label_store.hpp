@@ -1,0 +1,18 @@
+#pragma once
+
+#include "label/pair_store.hpp"
+
+namespace ssr::label {
+
+/// Concrete Algorithm 4.2 store over label pairs.
+class LabelStore : public PairStore<LabelPair> {
+ public:
+  LabelStore(NodeId self, StoreConfig cfg, Rng rng);
+
+ private:
+  static LabelPair create(NodeId self, Rng& rng,
+                          const std::vector<LabelPair>& known);
+  Rng rng_;
+};
+
+}  // namespace ssr::label

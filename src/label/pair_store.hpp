@@ -1,0 +1,311 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "label/label.hpp"
+#include "util/id_set.hpp"
+
+namespace ssr::label {
+
+struct StoreConfig {
+  /// storedLabels[i] queue bound — the paper uses (v(v²+m))+v; we size the
+  /// antisting set to the queue bound instead so that nextLabel() always
+  /// dominates everything stored (DESIGN.md §3).
+  std::size_t own_queue_capacity = Label::kAntistings;
+  /// storedLabels[j], j ≠ i: bound v+m in the paper.
+  std::size_t peer_queue_capacity = 12;
+};
+
+struct StoreStats {
+  std::uint64_t created = 0;       // nextLabel() invocations
+  std::uint64_t cancellations = 0; // pairs cancelled by stored evidence
+  std::uint64_t stale_flushes = 0; // emptyAllQueues() due to staleInfo()
+};
+
+/// The receipt action of Algorithm 4.2, generic over the pair type: the
+/// paper runs the *same* maintenance for label pairs (Algorithm 4.1/4.2)
+/// and counter pairs (Algorithm 4.3, "adjusted for counter structures").
+///
+/// Requirements on P: has_main(), legit(), creator(), main() → Label,
+/// same_main(P), cancel_with(Label), merged_with(P),
+/// has_foreign_creator(IdSet), static total_less(P,P), static null().
+template <class P>
+class PairStore {
+ public:
+  /// Creates a fresh pair greater than all `known` same-creator pairs.
+  using CreateFn = std::function<P(const std::vector<P>& known)>;
+
+  PairStore(NodeId self, StoreConfig cfg, CreateFn create)
+      : self_(self), cfg_(cfg), create_(std::move(create)) {
+    members_.insert(self_);
+  }
+
+  /// Rebuild for a new configuration (operator rebuild(v) of Alg. 4.1):
+  /// non-member structures are dropped and every queue is emptied.
+  void rebuild(const IdSet& members) {
+    members_ = members;
+    stored_.clear();
+    for (auto it = max_.begin(); it != max_.end();) {
+      if (!members_.contains(it->first)) {
+        it = max_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    clean_max(members);
+  }
+
+  void empty_all_queues() { stored_.clear(); }
+
+  /// cleanMax(): voids max entries holding labels by non-member creators.
+  void clean_max(const IdSet& members) {
+    for (auto& [id, pair] : max_) {
+      (void)id;
+      if (pair.has_foreign_creator(members)) pair = P::null();
+    }
+  }
+
+  /// The labelReceiptAction / counterReceiptAction. `from == self` with
+  /// null arguments acts as the argument-less refresh.
+  void receipt(const P& sent_max, const P& last_sent, NodeId from) {
+    if (from != self_) max_[from] = sent_max;  // line 18
+    // Line 19: the peer echoed a cancellation of our own max.
+    P& mine = max_[self_];
+    if (last_sent.has_main() && !last_sent.legit() && mine.has_main() &&
+        mine.same_main(last_sent)) {
+      mine = last_sent;
+    }
+    maintain();
+  }
+
+  /// Argument-less maintenance (used after rebuilds and by refresh loops).
+  void refresh() { maintain(); }
+
+  const P& local_max() {
+    return max_[self_];
+  }
+  const P* max_entry(NodeId j) const {
+    auto it = max_.find(j);
+    return it == max_.end() ? nullptr : &it->second;
+  }
+  const std::deque<P>* queue(NodeId j) const {
+    auto it = stored_.find(j);
+    return it == stored_.end() ? nullptr : &it->second;
+  }
+  const IdSet& members() const { return members_; }
+  const StoreStats& stats() const { return stats_; }
+
+  /// Fault injection: plants an arbitrary pair in a queue / max entry.
+  void inject_stored(NodeId j, P pair) { stored_[j].push_front(std::move(pair)); }
+  void inject_max(NodeId j, P pair) { max_[j] = std::move(pair); }
+
+  /// Mutable sweep over the max entries (the counter layer cancels
+  /// exhausted counters before maintenance — cancelExhaustedMaxC()).
+  void for_each_max(const std::function<void(NodeId, P&)>& fn) {
+    for (auto& [j, mp] : max_) fn(j, mp);
+  }
+  void for_each_stored(const std::function<void(NodeId, P&)>& fn) {
+    for (auto& [j, q] : stored_) {
+      for (P& lp : q) fn(j, lp);
+    }
+  }
+
+ private:
+  std::deque<P>& labels_of(NodeId creator) { return stored_[creator]; }
+
+  bool stale_info() const {
+    for (const auto& [j, q] : stored_) {
+      bool legit_seen = false;
+      for (const P& lp : q) {
+        if (!lp.has_main() || lp.creator() != j) return true;
+        if (lp.legit()) {
+          if (legit_seen) return true;  // double: two legit in one queue
+          legit_seen = true;
+        }
+      }
+      // double: two copies of the same main label.
+      for (std::size_t a = 0; a < q.size(); ++a) {
+        for (std::size_t b = a + 1; b < q.size(); ++b) {
+          if (q[a].same_main(q[b])) return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  void dedupe(NodeId j, std::deque<P>& q) {
+    (void)j;
+    std::deque<P> out;
+    for (const P& lp : q) {
+      bool merged = false;
+      for (P& kept : out) {
+        if (kept.same_main(lp)) {
+          kept = kept.merged_with(lp);
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) out.push_back(lp);
+    }
+    // Two distinct legit labels by one creator: keep the most recent (queue
+    // front), cancel is produced later by the notgeq pass if warranted.
+    bool legit_seen = false;
+    for (P& lp : out) {
+      if (!lp.legit()) continue;
+      if (legit_seen) {
+        // Cancel the older legit with the newer as evidence.
+        for (const P& ev : out) {
+          if (ev.legit() && !(&ev == &lp)) {
+            lp.cancel_with(ev.main());
+            break;
+          }
+        }
+      }
+      legit_seen = true;
+    }
+    q = std::move(out);
+  }
+
+  void enforce_capacity(NodeId j, std::deque<P>& q) {
+    const std::size_t cap =
+        j == self_ ? cfg_.own_queue_capacity : cfg_.peer_queue_capacity;
+    while (q.size() > cap) q.pop_back();
+  }
+
+  void maintain() {
+    // staleInfo() → emptyAllQueues() (line 20).
+    if (stale_info()) {
+      ++stats_.stale_flushes;
+      stored_.clear();
+    }
+    // Line 21: record every max entry in its creator's queue. A same-main
+    // entry is merged instead of duplicated (the counter variant's enqueue:
+    // "only maintains the instance with the greatest counter w.r.t. ≺ct").
+    for (auto& [j, mp] : max_) {
+      (void)j;
+      if (!mp.has_main()) continue;
+      if (!members_.contains(mp.creator())) continue;
+      auto& q = labels_of(mp.creator());
+      bool exists = false;
+      for (P& lp : q) {
+        if (lp.same_main(mp)) {
+          lp = lp.merged_with(mp);
+          exists = true;
+          break;
+        }
+      }
+      if (!exists) {
+        q.push_front(mp);
+        enforce_capacity(mp.creator(), q);
+      }
+    }
+    // Line 22: cancel stored legit pairs that are provably not maximal.
+    for (auto& [j, q] : stored_) {
+      (void)j;
+      for (P& lp : q) {
+        if (!lp.legit()) continue;
+        for (const P& other : q) {
+          if (other.same_main(lp)) continue;
+          if (!other.has_main()) continue;
+          if (!Label::cancels(other.main(), lp.main())) {
+            // other ⋠lb lp fails: `other` is not below lp → evidence.
+            lp.cancel_with(other.main());
+            ++stats_.cancellations;
+            break;
+          }
+        }
+      }
+    }
+    // Line 23: propagate cancellations carried by max entries into queues.
+    for (auto& [j, mp] : max_) {
+      (void)j;
+      if (!mp.has_main() || mp.legit()) continue;
+      if (!members_.contains(mp.creator())) continue;
+      auto& q = labels_of(mp.creator());
+      for (P& lp : q) {
+        if (lp.legit() && lp.same_main(mp)) lp = mp;
+      }
+    }
+    // Line 24: remove doubles.
+    for (auto& [j, q] : stored_) dedupe(j, q);
+    // Line 25: apply stored cancellation evidence to legit max entries.
+    for (auto& [j, mp] : max_) {
+      (void)j;
+      if (!mp.has_main() || !mp.legit()) continue;
+      if (!members_.contains(mp.creator())) continue;
+      auto& q = labels_of(mp.creator());
+      for (const P& lp : q) {
+        if (!lp.legit() && lp.same_main(mp)) {
+          mp = lp;
+          break;
+        }
+      }
+    }
+    // Lines 26–27: adopt the maximal legit label, or fall back to our own.
+    const P* best_ptr = nullptr;
+    for (const auto& [j, mp] : max_) {
+      (void)j;
+      if (!mp.legit()) continue;
+      if (!members_.contains(mp.creator())) continue;
+      if (best_ptr == nullptr || P::total_less(*best_ptr, mp)) best_ptr = &mp;
+    }
+    if (best_ptr != nullptr) {
+      const P best = *best_ptr;  // copy before mutating max_
+      max_[self_] = best;
+      // Epoch-refresh rule (DESIGN.md §3): if one of our *own* cancelled
+      // labels still compares above the adopted best (an exhausted epoch we
+      // created), no other processor can mint a label restoring the global
+      // order — only a fresh label of ours dominates it. Mint one. The
+      // fresh label covers our cancelled stings, so this fires at most once
+      // per cancellation event.
+      bool own_cancelled_above = false;
+      for (const P& lp : labels_of(self_)) {
+        if (!lp.has_main() || lp.legit()) continue;
+        if (P::total_less(best, lp)) {
+          own_cancelled_above = true;
+          break;
+        }
+      }
+      if (own_cancelled_above) mint_fresh();
+    } else {
+      use_own();
+    }
+  }
+
+  void use_own() {
+    auto& q = labels_of(self_);
+    const P* best = nullptr;
+    for (const P& lp : q) {
+      if (!lp.legit()) continue;
+      if (best == nullptr || P::total_less(*best, lp)) best = &lp;
+    }
+    if (best != nullptr) {
+      max_[self_] = *best;
+      return;
+    }
+    mint_fresh();
+  }
+
+  void mint_fresh() {
+    auto& q = labels_of(self_);
+    std::vector<P> known(q.begin(), q.end());
+    P fresh = create_(known);
+    ++stats_.created;
+    q.push_front(fresh);
+    enforce_capacity(self_, q);
+    max_[self_] = std::move(fresh);
+  }
+
+  NodeId self_;
+  StoreConfig cfg_;
+  CreateFn create_;
+  IdSet members_;
+  std::map<NodeId, P> max_;              // max[] / maxC[]
+  std::map<NodeId, std::deque<P>> stored_;  // storedLabels[] / storedCnts[]
+  StoreStats stats_;
+};
+
+}  // namespace ssr::label

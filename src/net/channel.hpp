@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace ssr::net {
+
+/// Behavioural parameters of every directed link.
+struct ChannelConfig {
+  /// Bounded capacity `cap` (paper, Section 2): at most this many packets
+  /// are in flight; overflowing sends omit either the new packet or a
+  /// previously sent one.
+  std::size_t capacity = 8;
+  SimTime min_delay = 50 * kUsec;
+  SimTime max_delay = 2 * kMsec;
+  /// Spontaneous omission probability. Must be < 1 so that fair
+  /// communication holds (a packet sent infinitely often arrives infinitely
+  /// often).
+  double loss_probability = 0.05;
+  double duplicate_probability = 0.01;
+  /// Probability that a delivered packet has one byte flipped (models
+  /// hardware corruption; decoders must survive it).
+  double corrupt_probability = 0.0;
+};
+
+/// Directed unreliable bounded-capacity channel from one processor to
+/// another. Delivery order is randomized through per-packet delays.
+class Channel {
+ public:
+  using Deliver = std::function<void(Packet)>;
+
+  Channel(sim::Scheduler& sched, Rng rng, ChannelConfig cfg, NodeId src,
+          NodeId dst, Deliver deliver);
+
+  /// Sends a payload. May silently omit (loss or capacity overflow).
+  void send(wire::Bytes payload);
+
+  /// Transient-fault injection: places `count` packets with arbitrary
+  /// content directly into the channel, as if left over from before the
+  /// fault. Never exceeds capacity.
+  void inject_garbage(std::size_t count, std::size_t max_len = 64);
+
+  /// Transient-fault injection: places a specific stale packet in flight
+  /// (used to model stale protocol messages surviving in channels).
+  void inject_packet(wire::Bytes payload);
+
+  /// Drops every in-flight packet (models the snap-stabilizing cleaning
+  /// completing, and link failure).
+  void flush();
+
+  std::size_t in_flight() const;
+  const ChannelConfig& config() const { return cfg_; }
+
+  struct Stats {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t overflowed = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t corrupted = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void schedule_delivery(wire::Bytes payload, bool count_as_send);
+  void prune();
+
+  sim::Scheduler& sched_;
+  Rng rng_;
+  ChannelConfig cfg_;
+  NodeId src_;
+  NodeId dst_;
+  Deliver deliver_;
+  std::vector<sim::Scheduler::Handle> in_flight_;
+  Stats stats_;
+};
+
+}  // namespace ssr::net

@@ -1,0 +1,43 @@
+#include "net/network.hpp"
+
+namespace ssr::net {
+
+Channel& Network::channel(NodeId src, NodeId dst) {
+  auto key = std::make_pair(src, dst);
+  auto it = channels_.find(key);
+  if (it == channels_.end()) {
+    auto deliver = [this, dst](Packet pkt) {
+      auto h = handlers_.find(dst);
+      if (h != handlers_.end()) h->second(pkt);
+      // else: destination crashed or absent — the packet vanishes.
+    };
+    it = channels_
+             .emplace(key, std::make_unique<Channel>(sched_, rng_.fork(), cfg_,
+                                                     src, dst, deliver))
+             .first;
+  }
+  return *it->second;
+}
+
+void Network::send(NodeId src, NodeId dst, wire::Bytes payload) {
+  if (src == dst) {
+    // Loopback: deliver next step without loss (a processor reading its own
+    // state needs no channel; kept for uniformity of broadcast loops).
+    auto h = handlers_.find(dst);
+    if (h == handlers_.end()) return;
+    Packet pkt{src, dst, std::move(payload)};
+    sched_.schedule_after(1, [this, dst, pkt = std::move(pkt)]() {
+      auto it = handlers_.find(dst);
+      if (it != handlers_.end()) it->second(pkt);
+    });
+    return;
+  }
+  channel(src, dst).send(std::move(payload));
+}
+
+void Network::for_each_channel(
+    const std::function<void(NodeId, NodeId, Channel&)>& fn) {
+  for (auto& [key, ch] : channels_) fn(key.first, key.second, *ch);
+}
+
+}  // namespace ssr::net

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "net/channel.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace ssr::net {
+
+/// Fully connected network fabric over the simulated scheduler.
+///
+/// A directed Channel is created lazily per ordered pair. Crashed or
+/// never-registered destinations silently drop packets (a crashed processor
+/// takes no further steps — paper, Section 2).
+class Network {
+ public:
+  using Handler = std::function<void(const Packet&)>;
+
+  Network(sim::Scheduler& sched, Rng rng, ChannelConfig cfg)
+      : sched_(sched), rng_(rng), cfg_(cfg) {}
+
+  /// Registers (or replaces) a node's packet handler.
+  void attach(NodeId id, Handler handler) { handlers_[id] = std::move(handler); }
+  /// Detaches a node: models a crash; its inbound packets are dropped.
+  void detach(NodeId id) { handlers_.erase(id); }
+  bool attached(NodeId id) const { return handlers_.count(id) != 0; }
+
+  void send(NodeId src, NodeId dst, wire::Bytes payload);
+
+  /// Direct access to a channel for fault injection and inspection.
+  Channel& channel(NodeId src, NodeId dst);
+
+  /// Applies `fn` to every channel that currently exists.
+  void for_each_channel(const std::function<void(NodeId, NodeId, Channel&)>& fn);
+
+  const ChannelConfig& config() const { return cfg_; }
+  sim::Scheduler& scheduler() { return sched_; }
+
+ private:
+  sim::Scheduler& sched_;
+  Rng rng_;
+  ChannelConfig cfg_;
+  std::map<NodeId, Handler> handlers_;
+  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Channel>> channels_;
+};
+
+}  // namespace ssr::net

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "util/types.hpp"
+#include "wire/wire.hpp"
+
+namespace ssr::net {
+
+/// Low-level packet (paper, Section 2): packets may be lost, reordered or
+/// duplicated but never arbitrarily created by the network itself — although
+/// channels may *initially* (i.e., after a transient fault) hold stale
+/// packets, which the fault injector models explicitly.
+struct Packet {
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  wire::Bytes payload;
+};
+
+}  // namespace ssr::net

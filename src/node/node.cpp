@@ -1,0 +1,111 @@
+#include "node/node.hpp"
+
+namespace ssr::node {
+
+reconf::RecMA::EvalConf quarter_failed_policy(const fd::ThetaFD& fd) {
+  return [&fd](const IdSet& cfg) {
+    const IdSet trusted = fd.trusted();
+    const std::size_t suspected = cfg.size() - cfg.intersection_size(trusted);
+    return suspected > 0 && suspected * 4 >= cfg.size();
+  };
+}
+
+Node::Node(net::Network& net, NodeId id, NodeConfig cfg, Rng rng)
+    : net_(net),
+      id_(id),
+      cfg_(cfg),
+      rng_(rng),
+      mux_(net, id, cfg.mux, rng_.fork()),
+      fd_(id, cfg.fd),
+      recsa_(mux_, id, [this] { return fd_.trusted(); }, cfg.recsa),
+      recma_(mux_, recsa_, id,
+             [this](const IdSet& c) { return eval_conf_(c); }),
+      joiner_(
+          mux_, recsa_, id, cfg.join, [this] { return pass_query_(); },
+          [this] {
+            return vs_ ? vs_->state_machine().snapshot() : wire::Bytes{};
+          },
+          [this] {
+            if (vs_) vs_->state_machine().reset();
+          },
+          [this](const std::vector<wire::Bytes>& states) {
+            if (!vs_) return;
+            for (const auto& s : states) {
+              if (!s.empty()) {
+                vs_->state_machine().restore(s);
+                return;
+              }
+            }
+          }),
+      labeling_(mux_, recsa_, id, cfg.label_store, rng_.fork()),
+      counters_(mux_, recsa_, id, cfg.counter, rng_.fork()),
+      increment_(recsa_, counters_, mux_, id, cfg.increment, rng_.fork()),
+      registers_(mux_, recsa_, counters_, id, cfg.shmem, rng_.fork()),
+      pass_query_([] { return true; }),
+      eval_conf_(quarter_failed_policy(fd_)),
+      fetch_([]() -> std::optional<wire::Bytes> { return std::nullopt; }) {
+  if (cfg_.enable_vs) {
+    vs_ = std::make_unique<vs::VsSmr>(
+        mux_, recsa_, counters_, id, std::make_unique<vs::KvStateMachine>(),
+        [this] { return fetch_(); },
+        [this](const IdSet& c) { return eval_conf_(c); }, cfg_.increment,
+        rng_.fork());
+    // Algorithm 4.6: the view coordinator owns delicate reconfigurations.
+    recma_.set_direct_trigger([this] { return vs_->need_delicate_reconf(); });
+  }
+  mux_.set_heartbeat_handler([this](NodeId peer) { fd_.heartbeat(peer); });
+}
+
+Node::~Node() { crash(); }
+
+void Node::set_pass_query(reconf::Joiner::PassQuery fn) {
+  pass_query_ = std::move(fn);
+}
+void Node::set_eval_conf(reconf::RecMA::EvalConf fn) {
+  eval_conf_ = std::move(fn);
+}
+void Node::set_fetch(vs::VsSmr::FetchFn fn) { fetch_ = std::move(fn); }
+void Node::set_deliver(vs::VsSmr::DeliverFn fn) {
+  if (vs_) vs_->set_deliver_handler(std::move(fn));
+}
+
+void Node::start(const IdSet& seed_peers) {
+  if (started_ || crashed_) return;
+  started_ = true;
+  net_.attach(id_, [this](const net::Packet& pkt) {
+    if (!crashed_) mux_.handle_packet(pkt);
+  });
+  for (NodeId peer : seed_peers) {
+    if (peer != id_) mux_.connect(peer);
+  }
+  arm_timer();
+}
+
+void Node::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  timer_.cancel();
+  mux_.shutdown();
+  net_.detach(id_);
+}
+
+void Node::arm_timer() {
+  const SimTime jitter = rng_.next_below(cfg_.tick_period / 4 + 1);
+  timer_ = net_.scheduler().schedule_after(cfg_.tick_period + jitter,
+                                           [this] { tick(); });
+}
+
+void Node::tick() {
+  if (crashed_) return;
+  recsa_.tick();
+  recma_.tick();
+  joiner_.tick();
+  labeling_.tick();
+  counters_.tick();
+  increment_.tick();
+  if (vs_) vs_->tick();
+  registers_.tick();
+  arm_timer();
+}
+
+}  // namespace ssr::node

@@ -1,0 +1,153 @@
+#include "reconf/join.hpp"
+
+namespace ssr::reconf {
+
+namespace {
+constexpr std::uint8_t kTagRequest = 1;
+constexpr std::uint8_t kTagReply = 2;
+
+wire::Bytes encode_request(bool want) {
+  wire::Writer w;
+  w.u8(kTagRequest);
+  w.boolean(want);
+  return w.take();
+}
+
+wire::Bytes encode_reply(bool pass, const wire::Bytes& state) {
+  wire::Writer w;
+  w.u8(kTagReply);
+  w.boolean(pass);
+  w.bytes(state);
+  return w.take();
+}
+}  // namespace
+
+Joiner::Joiner(dlink::LinkMux& mux, RecSA& recsa, NodeId self, JoinConfig cfg,
+               PassQuery pass_query, StateProvider state_provider,
+               ResetVars reset_vars, InitVars init_vars)
+    : mux_(mux),
+      recsa_(recsa),
+      self_(self),
+      cfg_(cfg),
+      pass_query_(std::move(pass_query)),
+      state_provider_(std::move(state_provider)),
+      reset_vars_(std::move(reset_vars)),
+      init_vars_(std::move(init_vars)) {
+  mux_.subscribe(dlink::kPortJoin, [this](NodeId from, const wire::Bytes& d) {
+    on_message(from, d);
+  });
+}
+
+void Joiner::on_message(NodeId from, const wire::Bytes& data) {
+  wire::Reader r(data);
+  const std::uint8_t tag = r.u8();
+  if (tag == kTagRequest) {
+    const bool want = r.boolean();
+    if (!r.ok() || !r.exhausted()) return;
+    join_requests_[from] = want;
+    return;
+  }
+  if (tag == kTagReply) {
+    PassRecord rec;
+    rec.pass = r.boolean();
+    rec.state = r.bytes();
+    if (!r.ok() || !r.exhausted()) return;
+    // Line 18: only non-participants consume pass replies.
+    if (!recsa_.is_participant()) passes_[from] = rec;
+    return;
+  }
+}
+
+void Joiner::tick() {
+  if (recsa_.is_participant()) {
+    if (!was_participant_) {
+      // Just promoted: stop requesting, drop collected passes.
+      was_participant_ = true;
+      passes_.clear();
+      quiet_ticks_ = 0;
+      mux_.clear_state_all(dlink::kPortJoin);
+    }
+    participant_tick();
+  } else {
+    if (was_participant_) {
+      // Demoted (e.g., cleaned after being dropped from every FD): restart
+      // the join procedure from scratch with default state (line 7).
+      was_participant_ = false;
+      reset_vars_();
+      passes_.clear();
+      quiet_ticks_ = 0;
+    }
+    joiner_tick();
+  }
+}
+
+void Joiner::joiner_tick() {
+  const ConfigValue com_conf = recsa_.get_config();  // line 9
+  const bool quiet = recsa_.no_reco();
+
+  if (quiet && com_conf.is_proper()) {
+    // Count passes from configuration members we still trust (line 10).
+    const IdSet& cfg = com_conf.ids();
+    const IdSet& fd = recsa_.trusted();
+    std::size_t granted = 0;
+    std::vector<wire::Bytes> states;
+    for (NodeId j : cfg) {
+      if (!fd.contains(j)) continue;
+      auto it = passes_.find(j);
+      if (it != passes_.end() && it->second.pass) {
+        ++granted;
+        states.push_back(it->second.state);
+      }
+    }
+    if (granted > cfg.size() / 2) {
+      init_vars_(states);        // line 11
+      if (recsa_.participate())  // line 12
+        ++stats_.joined;
+      return;
+    }
+  }
+
+  // Complete-collapse bootstrap: a stable quiet view with no participant at
+  // all means the quorum system holds no active member; seed the reset.
+  const bool no_participants = recsa_.participants().empty();
+  if (quiet && no_participants) {
+    if (++quiet_ticks_ >= cfg_.bootstrap_patience_ticks) {
+      quiet_ticks_ = 0;
+      reset_vars_();
+      if (recsa_.participate()) {
+        // participate() adopted ⊥ and seeded the brute-force reset.
+        ++stats_.bootstrap_resets;
+      }
+      return;
+    }
+  } else {
+    quiet_ticks_ = 0;
+  }
+
+  // Line 13: keep requesting from every trusted processor.
+  for (NodeId j : recsa_.trusted()) {
+    if (j == self_) continue;
+    mux_.publish_state(dlink::kPortJoin, j, encode_request(true));
+  }
+}
+
+void Joiner::participant_tick() {
+  // Line 16: answer active join requests with ⟨passQuery(), state⟩; the
+  // pass is recomputed (and possibly retracted) on every iteration.
+  const ConfigValue cur = recsa_.get_config();
+  const bool member =
+      cur.is_set() && cur.ids().contains(self_);
+  for (auto& [joiner, active] : join_requests_) {
+    if (!active || recsa_.peer_is_participant(joiner)) {
+      mux_.clear_state(dlink::kPortJoin, joiner);
+      continue;
+    }
+    bool pass = false;
+    if (member && recsa_.no_reco()) pass = pass_query_();
+    if (pass) ++stats_.passes_granted;
+    mux_.publish_state(dlink::kPortJoin, joiner,
+                       encode_reply(pass, state_provider_()));
+  }
+}
+
+}  // namespace ssr::reconf

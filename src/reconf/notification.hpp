@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+
+#include "util/id_set.hpp"
+#include "wire/wire.hpp"
+
+namespace ssr::reconf {
+
+/// A configuration-replacement notification `prp = ⟨phase, set⟩`
+/// (Algorithm 3.1). `phase ∈ {0,1,2}` drives the Fig. 2 automaton; `set` is
+/// the proposed configuration or ⊥ ("no value"). The default notification
+/// dfltNtf = ⟨0, ⊥⟩ means "no proposal".
+struct Notification {
+  std::uint8_t phase = 0;
+  bool has_set = false;
+  IdSet set;
+
+  /// dfltNtf = ⟨0,⊥⟩.
+  static Notification none() { return Notification{}; }
+  static Notification proposal(std::uint8_t phase, IdSet ids) {
+    return Notification{phase, true, std::move(ids)};
+  }
+
+  bool is_default() const { return phase == 0 && !has_set; }
+
+  /// degree = 2·phase + all-flag (paper macro `degree(k)`).
+  int degree(bool all_flag) const { return 2 * phase + (all_flag ? 1 : 0); }
+
+  friend bool operator==(const Notification&, const Notification&) = default;
+
+  /// The paper's ≤lex: phase first, then the proposed set (ascending-id
+  /// tuple order). Used by maxNtf() to select a single proposal
+  /// deterministically and uniformly.
+  static bool lex_less(const Notification& a, const Notification& b);
+
+  void encode(wire::Writer& w) const;
+  static Notification decode(wire::Reader& r);
+
+  std::string to_string() const;
+};
+
+}  // namespace ssr::reconf

@@ -1,0 +1,310 @@
+#include "shmem/register_service.hpp"
+
+namespace ssr::shmem {
+
+namespace {
+void encode_tagged(wire::Writer& w, const TaggedValue& tv) {
+  w.boolean(tv.valid);
+  if (tv.valid) {
+    tv.tag.encode(w);
+    w.bytes(tv.value);
+  }
+}
+
+TaggedValue decode_tagged(wire::Reader& r) {
+  TaggedValue tv;
+  tv.valid = r.boolean();
+  if (tv.valid) {
+    auto tag = Counter::decode(r);
+    if (!tag) {
+      tv.valid = false;
+      return tv;
+    }
+    tv.tag = *tag;
+    tv.value = r.bytes();
+  }
+  return tv;
+}
+}  // namespace
+
+RegisterService::RegisterService(dlink::LinkMux& mux, reconf::RecSA& recsa,
+                                 counter::CounterManager& counters,
+                                 NodeId self, ShmemConfig cfg, Rng rng)
+    : mux_(mux),
+      recsa_(recsa),
+      counters_(counters),
+      self_(self),
+      cfg_(cfg),
+      rng_(rng),
+      inc_(recsa, counters, mux, self, cfg.inc, rng_.fork()) {
+  mux_.subscribe(dlink::kPortShmem, [this](NodeId from, const wire::Bytes& d) {
+    on_message(from, d);
+  });
+}
+
+const TaggedValue* RegisterService::replica(const std::string& name) const {
+  auto it = replicas_.find(name);
+  return it == replicas_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Server side (configuration members)
+// ---------------------------------------------------------------------------
+
+void RegisterService::serve_read(NodeId from, std::uint32_t op,
+                                 const std::string& name) {
+  wire::Writer w;
+  w.u8(Msg::kReadResp);
+  w.u32(op);
+  const bool serving = counters_.member() && recsa_.no_reco();
+  w.boolean(!serving);  // abort flag
+  if (serving) {
+    auto it = replicas_.find(name);
+    encode_tagged(w, it == replicas_.end() ? TaggedValue{} : it->second);
+  } else {
+    ++stats_.server_aborts;
+    encode_tagged(w, TaggedValue{});
+  }
+  mux_.send_datagram(dlink::kPortShmem, from, w.take());
+}
+
+void RegisterService::serve_write(NodeId from, std::uint32_t op,
+                                  const std::string& name, TaggedValue tv) {
+  wire::Writer w;
+  w.u8(Msg::kWriteResp);
+  w.u32(op);
+  const bool serving = counters_.member() && recsa_.no_reco();
+  w.boolean(!serving);
+  if (serving && tv.valid) {
+    auto& rep = replicas_[name];
+    if (!rep.valid || Counter::ct_less(rep.tag, tv.tag)) rep = std::move(tv);
+  } else if (!serving) {
+    ++stats_.server_aborts;
+  }
+  mux_.send_datagram(dlink::kPortShmem, from, w.take());
+}
+
+// ---------------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------------
+
+bool RegisterService::start_op(const std::string& name) {
+  if (busy()) return false;
+  const reconf::ConfigValue cur = recsa_.get_config();
+  if (!recsa_.no_reco() || !cur.is_proper()) return false;
+  name_ = name;
+  members_ = cur.ids();
+  op_id_ = static_cast<std::uint32_t>(rng_.next_u64());
+  query_replies_.clear();
+  prop_acks_.clear();
+  ticks_in_op_ = 0;
+  return true;
+}
+
+bool RegisterService::read(const std::string& name, ReadCallback cb) {
+  if (!start_op(name)) return false;
+  is_read_ = true;
+  read_cb_ = std::move(cb);
+  phase_ = Phase::kQuery;
+  for (NodeId j : members_) send_query(j);
+  if (query_replies_.size() > members_.size() / 2) on_query_majority();
+  return true;
+}
+
+bool RegisterService::write(const std::string& name, wire::Bytes value,
+                            WriteCallback cb) {
+  if (!start_op(name)) return false;
+  is_read_ = false;
+  write_cb_ = std::move(cb);
+  new_value_ = std::move(value);
+  // Phase 1 of a write: query the current tag from a majority (standard
+  // two-phase write). The minted counter tag alone is not sufficient across
+  // configurations: a fresh epoch label of the new member set may compare
+  // below the old epoch's stored tag (labels do not carry over between
+  // configurations — paper §4.1), so the final tag is the greater of the
+  // minted counter and an ABD-style bump of the observed maximum.
+  phase_ = Phase::kQuery;
+  for (NodeId j : members_) send_query(j);
+  if (query_replies_.size() > members_.size() / 2) on_query_majority();
+  return true;
+}
+
+void RegisterService::on_query_majority() {
+  // Pick the latest stored ⟨tag, value⟩ among the majority.
+  TaggedValue observed;
+  for (const auto& [j, reply] : query_replies_) {
+    (void)j;
+    if (!reply.valid) continue;
+    if (!observed.valid || Counter::ct_less(observed.tag, reply.tag)) {
+      observed = reply;
+    }
+  }
+  if (is_read_) {
+    pending_ = observed;
+    if (!pending_.valid) {
+      // Nothing written yet: complete without a propagate phase.
+      finish(true);
+      return;
+    }
+    begin_propagate();  // two-phase read: write-back before returning
+    return;
+  }
+  // Write: mint a counter tag, then outbid the observed one if needed.
+  phase_ = Phase::kWriteTag;
+  const TaggedValue floor = observed;
+  if (!inc_.begin([this, floor](std::optional<Counter> c) {
+        if (phase_ != Phase::kWriteTag) return;
+        if (!c) {
+          finish(false);
+          return;
+        }
+        Counter tag = *c;
+        if (floor.valid && !Counter::ct_less(floor.tag, tag)) {
+          tag = Counter{floor.tag.lbl, floor.tag.seqn + 1, self_};
+        }
+        pending_ = TaggedValue{tag, new_value_, true};
+        begin_propagate();
+      })) {
+    finish(false);
+  }
+}
+
+void RegisterService::send_query(NodeId to) {
+  if (to == self_) {
+    // Local replica answers directly when we are a serving member.
+    if (counters_.member() && recsa_.no_reco()) {
+      auto it = replicas_.find(name_);
+      query_replies_[self_] =
+          it == replicas_.end() ? TaggedValue{} : it->second;
+    }
+    return;
+  }
+  wire::Writer w;
+  w.u8(Msg::kReadReq);
+  w.u32(op_id_);
+  w.str(name_);
+  mux_.send_datagram(dlink::kPortShmem, to, w.take());
+}
+
+void RegisterService::send_propagate(NodeId to) {
+  if (to == self_) {
+    if (counters_.member() && recsa_.no_reco()) {
+      auto& rep = replicas_[name_];
+      if (!rep.valid || Counter::ct_less(rep.tag, pending_.tag)) rep = pending_;
+      prop_acks_.insert(self_);
+    }
+    return;
+  }
+  wire::Writer w;
+  w.u8(Msg::kWriteReq);
+  w.u32(op_id_);
+  w.str(name_);
+  encode_tagged(w, pending_);
+  mux_.send_datagram(dlink::kPortShmem, to, w.take());
+}
+
+void RegisterService::begin_propagate() {
+  phase_ = Phase::kPropagate;
+  prop_acks_.clear();
+  for (NodeId j : members_) send_propagate(j);
+  if (prop_acks_.size() > members_.size() / 2) finish(true);
+}
+
+void RegisterService::on_message(NodeId from, const wire::Bytes& data) {
+  wire::Reader r(data);
+  const std::uint8_t tag = r.u8();
+  switch (tag) {
+    case Msg::kReadReq: {
+      const std::uint32_t op = r.u32();
+      std::string name = r.str();
+      if (!r.ok() || !r.exhausted()) return;
+      serve_read(from, op, name);
+      return;
+    }
+    case Msg::kWriteReq: {
+      const std::uint32_t op = r.u32();
+      std::string name = r.str();
+      TaggedValue tv = decode_tagged(r);
+      if (!r.ok() || !r.exhausted()) return;
+      serve_write(from, op, name, std::move(tv));
+      return;
+    }
+    case Msg::kReadResp: {
+      const std::uint32_t op = r.u32();
+      const bool abort = r.boolean();
+      TaggedValue tv = decode_tagged(r);
+      if (!r.ok() || !r.exhausted()) return;
+      if (op != op_id_ || phase_ != Phase::kQuery) return;
+      if (abort) {
+        finish(false);
+        return;
+      }
+      query_replies_[from] = std::move(tv);
+      if (query_replies_.size() > members_.size() / 2) on_query_majority();
+      return;
+    }
+    case Msg::kWriteResp: {
+      const std::uint32_t op = r.u32();
+      const bool abort = r.boolean();
+      if (!r.ok() || !r.exhausted()) return;
+      if (op != op_id_ || phase_ != Phase::kPropagate) return;
+      if (abort) {
+        finish(false);
+        return;
+      }
+      prop_acks_.insert(from);
+      if (prop_acks_.size() > members_.size() / 2) finish(true);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void RegisterService::tick() {
+  if (phase_ == Phase::kIdle) return;
+  inc_.tick();
+  ++ticks_in_op_;
+  if (!recsa_.no_reco() || ticks_in_op_ > cfg_.timeout_ticks) {
+    finish(false);
+    return;
+  }
+  if (ticks_in_op_ % cfg_.resend_every_ticks == 0) {
+    if (phase_ == Phase::kQuery) {
+      for (NodeId j : members_) {
+        if (!query_replies_.count(j)) send_query(j);
+      }
+    } else if (phase_ == Phase::kPropagate) {
+      for (NodeId j : members_) {
+        if (!prop_acks_.contains(j)) send_propagate(j);
+      }
+    }
+  }
+}
+
+void RegisterService::finish(bool ok) {
+  const bool was_read = is_read_;
+  const TaggedValue result = pending_;
+  phase_ = Phase::kIdle;
+  pending_ = TaggedValue{};
+  if (ok) {
+    if (was_read) {
+      ++stats_.reads_completed;
+    } else {
+      ++stats_.writes_completed;
+    }
+  } else {
+    ++stats_.ops_aborted;
+  }
+  if (was_read) {
+    ReadCallback cb = std::move(read_cb_);
+    read_cb_ = nullptr;
+    if (cb) cb(ok, result.value, result.tag);
+  } else {
+    WriteCallback cb = std::move(write_cb_);
+    write_cb_ = nullptr;
+    if (cb) cb(ok, result.tag);
+  }
+}
+
+}  // namespace ssr::shmem

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "counter/increment.hpp"
+
+namespace ssr::shmem {
+
+using counter::Counter;
+
+/// A tagged register replica: the value with the counter tag of its writer.
+struct TaggedValue {
+  Counter tag;
+  wire::Bytes value;
+  bool valid = false;
+};
+
+struct ShmemStats {
+  std::uint64_t reads_completed = 0;
+  std::uint64_t writes_completed = 0;
+  std::uint64_t ops_aborted = 0;
+  std::uint64_t server_aborts = 0;
+};
+
+struct ShmemConfig {
+  unsigned timeout_ticks = 160;
+  unsigned resend_every_ticks = 8;
+  counter::IncrementConfig inc;
+};
+
+/// Self-stabilizing reconfigurable MWMR shared-memory emulation (paper §4.3,
+/// end): a typical two-phase quorum read/write protocol over the current
+/// configuration, with write tags minted by the self-stabilizing counter
+/// scheme (so tags are totally ordered and survive epoch exhaustion), and
+/// suspension during reconfigurations (servers answer Abort; clients retry).
+///
+/// Completed operations per register are ordered by their tags: a read
+/// returns the value of the latest tag in a majority and writes it back
+/// before returning (the standard two-phase read), giving atomic
+/// (linearizable) single-register semantics between reconfigurations and
+/// across delicate reconfigurations.
+class RegisterService {
+ public:
+  using ReadCallback =
+      std::function<void(bool ok, const wire::Bytes& value, Counter tag)>;
+  using WriteCallback = std::function<void(bool ok, Counter tag)>;
+
+  RegisterService(dlink::LinkMux& mux, reconf::RecSA& recsa,
+                  counter::CounterManager& counters, NodeId self,
+                  ShmemConfig cfg, Rng rng);
+
+  /// Starts a read of `name`; false if an operation is already in flight.
+  bool read(const std::string& name, ReadCallback cb);
+  /// Starts a write; false if an operation is already in flight.
+  bool write(const std::string& name, wire::Bytes value, WriteCallback cb);
+
+  /// Drives retransmissions/timeouts; call from the node loop.
+  void tick();
+
+  bool busy() const { return phase_ != Phase::kIdle; }
+  const ShmemStats& stats() const { return stats_; }
+  /// Server-side replica inspection (tests).
+  const TaggedValue* replica(const std::string& name) const;
+
+ private:
+  enum class Phase : std::uint8_t {
+    kIdle,
+    kQuery,      // both: collecting ⟨tag, value⟩ from a majority
+    kWriteTag,   // write: minting the tag via inc()
+    kPropagate,  // both: writing ⟨tag, value⟩ back to a majority
+  };
+
+  struct Msg {
+    static constexpr std::uint8_t kReadReq = 1;
+    static constexpr std::uint8_t kReadResp = 2;
+    static constexpr std::uint8_t kWriteReq = 3;
+    static constexpr std::uint8_t kWriteResp = 4;
+  };
+
+  void on_message(NodeId from, const wire::Bytes& data);
+  void serve_read(NodeId from, std::uint32_t op, const std::string& name);
+  void serve_write(NodeId from, std::uint32_t op, const std::string& name,
+                   TaggedValue tv);
+  bool start_op(const std::string& name);
+  void send_query(NodeId to);
+  void send_propagate(NodeId to);
+  void on_query_majority();
+  void begin_propagate();
+  void finish(bool ok);
+
+  dlink::LinkMux& mux_;
+  reconf::RecSA& recsa_;
+  counter::CounterManager& counters_;
+  NodeId self_;
+  ShmemConfig cfg_;
+  Rng rng_;
+  counter::IncrementClient inc_;
+
+  // Server side: replicas held by configuration members.
+  std::map<std::string, TaggedValue> replicas_;
+
+  // Client side: one operation at a time.
+  Phase phase_ = Phase::kIdle;
+  bool is_read_ = false;
+  std::uint32_t op_id_ = 0;
+  std::string name_;
+  IdSet members_;
+  std::map<NodeId, TaggedValue> query_replies_;
+  IdSet prop_acks_;
+  TaggedValue pending_;   // value to propagate
+  wire::Bytes new_value_;  // write payload awaiting its tag
+  unsigned ticks_in_op_ = 0;
+  ReadCallback read_cb_;
+  WriteCallback write_cb_;
+
+  ShmemStats stats_;
+};
+
+}  // namespace ssr::shmem

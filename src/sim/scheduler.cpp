@@ -1,0 +1,47 @@
+#include "sim/scheduler.hpp"
+
+#include "util/assert.hpp"
+
+namespace ssr::sim {
+
+Scheduler::Handle Scheduler::schedule_after(SimTime delay, Action action) {
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+Scheduler::Handle Scheduler::schedule_at(SimTime when, Action action) {
+  SSR_ASSERT(when >= now_, "cannot schedule into the past");
+  Event ev;
+  ev.when = when;
+  ev.seq = next_seq_++;
+  ev.action = std::move(action);
+  ev.alive = std::make_shared<bool>(true);
+  Handle h(ev.alive);
+  queue_.push(std::move(ev));
+  return h;
+}
+
+bool Scheduler::step(SimTime deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.when > deadline) return false;
+    // Copy out before popping; the action may schedule new events.
+    Event ev = top;
+    queue_.pop();
+    if (!*ev.alive) continue;  // cancelled
+    now_ = ev.when;
+    *ev.alive = false;
+    ++executed_;
+    ev.action();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Scheduler::run_until(SimTime deadline) {
+  std::uint64_t n = 0;
+  while (step(deadline)) ++n;
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace ssr::sim

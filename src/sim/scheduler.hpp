@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ssr::sim {
+
+/// Discrete-event scheduler implementing the paper's interleaving model
+/// (Section 2): at most one step executes at any moment; a step is triggered
+/// either by a packet arrival or by a periodic timer whose rate is unknown
+/// to the algorithms. Virtual time is microseconds.
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  /// Handle used to cancel a scheduled event (e.g., timers of a crashed
+  /// node). Cancellation is O(1): the event is tombstoned and skipped.
+  class Handle {
+   public:
+    Handle() = default;
+    void cancel() const {
+      if (auto p = alive_.lock()) *p = false;
+    }
+    bool pending() const {
+      auto p = alive_.lock();
+      return p && *p;
+    }
+
+   private:
+    friend class Scheduler;
+    explicit Handle(std::weak_ptr<bool> alive) : alive_(std::move(alive)) {}
+    std::weak_ptr<bool> alive_;
+  };
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `action` to run `delay` after the current time.
+  Handle schedule_after(SimTime delay, Action action);
+  /// Schedules `action` at absolute time `when` (>= now).
+  Handle schedule_at(SimTime when, Action action);
+
+  /// Runs events until the queue is empty or `deadline` is passed.
+  /// Returns the number of events executed.
+  std::uint64_t run_until(SimTime deadline);
+  /// Runs for `duration` more virtual time.
+  std::uint64_t run_for(SimTime duration) { return run_until(now_ + duration); }
+  /// Executes exactly one event if any is pending before `deadline`.
+  bool step(SimTime deadline);
+
+  /// True when no events remain (cancelled events may linger until drained).
+  bool empty() const { return queue_.empty(); }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when = 0;
+    std::uint64_t seq = 0;  // FIFO tie-break at equal times → determinism
+    Action action;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace ssr::sim

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant checking used throughout the library. Violations indicate a
+/// programming error (never expected input), so we abort rather than throw:
+/// self-stabilizing algorithms must tolerate *state* corruption, but the
+/// *code* is assumed intact (paper, Section 1).
+#define SSR_ASSERT(cond, msg)                                                  \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      std::fprintf(stderr, "SSR_ASSERT failed at %s:%d: %s\n  %s\n", __FILE__, \
+                   __LINE__, #cond, msg);                                      \
+      std::abort();                                                            \
+    }                                                                          \
+  } while (false)

@@ -1,0 +1,90 @@
+#include "util/id_set.hpp"
+
+namespace ssr {
+
+IdSet::IdSet(std::initializer_list<NodeId> ids) : ids_(ids) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+IdSet IdSet::from_vector(std::vector<NodeId> ids) {
+  IdSet s;
+  s.ids_ = std::move(ids);
+  std::sort(s.ids_.begin(), s.ids_.end());
+  s.ids_.erase(std::unique(s.ids_.begin(), s.ids_.end()), s.ids_.end());
+  return s;
+}
+
+bool IdSet::contains(NodeId id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+bool IdSet::insert(NodeId id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it != ids_.end() && *it == id) return false;
+  ids_.insert(it, id);
+  return true;
+}
+
+bool IdSet::erase(NodeId id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end() || *it != id) return false;
+  ids_.erase(it);
+  return true;
+}
+
+bool IdSet::subset_of(const IdSet& other) const {
+  return std::includes(other.ids_.begin(), other.ids_.end(), ids_.begin(),
+                       ids_.end());
+}
+
+IdSet IdSet::intersect(const IdSet& other) const {
+  IdSet out;
+  std::set_intersection(ids_.begin(), ids_.end(), other.ids_.begin(),
+                        other.ids_.end(), std::back_inserter(out.ids_));
+  return out;
+}
+
+IdSet IdSet::unite(const IdSet& other) const {
+  IdSet out;
+  std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(),
+                 other.ids_.end(), std::back_inserter(out.ids_));
+  return out;
+}
+
+IdSet IdSet::subtract(const IdSet& other) const {
+  IdSet out;
+  std::set_difference(ids_.begin(), ids_.end(), other.ids_.begin(),
+                      other.ids_.end(), std::back_inserter(out.ids_));
+  return out;
+}
+
+std::size_t IdSet::intersection_size(const IdSet& other) const {
+  std::size_t n = 0;
+  auto a = ids_.begin();
+  auto b = other.ids_.begin();
+  while (a != ids_.end() && b != other.ids_.end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      ++n;
+      ++a;
+      ++b;
+    }
+  }
+  return n;
+}
+
+std::string IdSet::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(ids_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace ssr

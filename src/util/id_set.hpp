@@ -1,0 +1,61 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ssr {
+
+/// Ordered set of processor identifiers with value semantics.
+///
+/// Configurations, failure-detector outputs and participant sets are all
+/// small sets of NodeIds that are compared, intersected and serialized
+/// constantly; a sorted vector beats node-based containers for every use in
+/// this library and gives deterministic iteration order (required for the
+/// deterministic "choose" and lexical-max rules of Algorithm 3.1).
+class IdSet {
+ public:
+  IdSet() = default;
+  IdSet(std::initializer_list<NodeId> ids);
+  /// Builds from an arbitrary (possibly unsorted, duplicated) vector.
+  static IdSet from_vector(std::vector<NodeId> ids);
+
+  bool contains(NodeId id) const;
+  /// Inserts `id`; returns true if it was not already present.
+  bool insert(NodeId id);
+  /// Removes `id`; returns true if it was present.
+  bool erase(NodeId id);
+  void clear() { ids_.clear(); }
+
+  std::size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+
+  /// True if every element of *this is in `other`.
+  bool subset_of(const IdSet& other) const;
+  IdSet intersect(const IdSet& other) const;
+  IdSet unite(const IdSet& other) const;
+  IdSet subtract(const IdSet& other) const;
+
+  /// Number of elements present in both sets (|a ∩ b| without allocating).
+  std::size_t intersection_size(const IdSet& other) const;
+
+  auto begin() const { return ids_.begin(); }
+  auto end() const { return ids_.end(); }
+  const std::vector<NodeId>& values() const { return ids_; }
+
+  /// Total order used for deterministic tie-breaking (lexicographic on the
+  /// sorted contents — matches the paper's ordering of proposal sets).
+  friend auto operator<=>(const IdSet&, const IdSet&) = default;
+  friend bool operator==(const IdSet&, const IdSet&) = default;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<NodeId> ids_;  // sorted, unique
+};
+
+}  // namespace ssr

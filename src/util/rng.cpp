@@ -1,0 +1,35 @@
+#include "util/rng.hpp"
+
+namespace ssr {
+
+std::uint64_t Rng::next_u64() {
+  state_ += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  SSR_ASSERT(bound > 0, "next_below requires a positive bound");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ULL - (~0ULL % bound);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % bound;
+}
+
+std::uint64_t Rng::next_range(std::uint64_t lo, std::uint64_t hi) {
+  SSR_ASSERT(lo <= hi, "next_range requires lo <= hi");
+  return lo + next_below(hi - lo + 1);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53 < p;
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace ssr

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ssr {
+
+/// Unique processor identifier, drawn from the totally ordered set P
+/// (paper, Section 2). Identifiers are never reused.
+using NodeId = std::uint32_t;
+
+/// Sentinel meaning "no processor".
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Virtual time in microseconds (discrete-event simulation).
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kUsec = 1;
+inline constexpr SimTime kMsec = 1000 * kUsec;
+inline constexpr SimTime kSec = 1000 * kMsec;
+
+}  // namespace ssr

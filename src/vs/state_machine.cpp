@@ -1,0 +1,78 @@
+#include "vs/state_machine.hpp"
+
+namespace ssr::vs {
+
+namespace {
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t hash_bytes(std::uint64_t h, const wire::Bytes& b) {
+  for (std::uint8_t byte : b) h = mix(h, byte);
+  return h;
+}
+}  // namespace
+
+void KvStateMachine::apply(NodeId sender, const wire::Bytes& command) {
+  digest_ = mix(digest_, sender);
+  digest_ = hash_bytes(digest_, command);
+  wire::Reader r(command);
+  const std::uint8_t op = r.u8();
+  if (op == 1) {
+    std::string key = r.str();
+    std::string value = r.str();
+    if (r.ok() && r.exhausted()) data_[key] = value;
+  } else if (op == 2) {
+    std::string key = r.str();
+    if (r.ok() && r.exhausted()) data_.erase(key);
+  }
+  // Unknown ops are ignored deterministically.
+}
+
+wire::Bytes KvStateMachine::snapshot() const {
+  wire::Writer w;
+  w.u64(digest_);
+  w.u32(static_cast<std::uint32_t>(data_.size()));
+  for (const auto& [k, v] : data_) {
+    w.str(k);
+    w.str(v);
+  }
+  return w.take();
+}
+
+void KvStateMachine::restore(const wire::Bytes& snapshot) {
+  reset();
+  digest_ = 0;
+  wire::Reader r(snapshot);
+  const std::uint64_t digest = r.u64();
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > wire::Reader::kMaxElements) return;
+  std::map<std::string, std::string> data;
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    std::string k = r.str();
+    std::string v = r.str();
+    if (r.ok()) data[k] = v;
+  }
+  if (!r.ok() || !r.exhausted()) return;  // malformed — stay default
+  data_ = std::move(data);
+  digest_ = digest;
+}
+
+wire::Bytes KvStateMachine::set_cmd(const std::string& key,
+                                    const std::string& value) {
+  wire::Writer w;
+  w.u8(1);
+  w.str(key);
+  w.str(value);
+  return w.take();
+}
+
+wire::Bytes KvStateMachine::del_cmd(const std::string& key) {
+  wire::Writer w;
+  w.u8(2);
+  w.str(key);
+  return w.take();
+}
+
+}  // namespace ssr::vs

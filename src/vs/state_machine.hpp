@@ -1,0 +1,51 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "util/types.hpp"
+#include "wire/wire.hpp"
+
+namespace ssr::vs {
+
+/// Deterministic replicated state machine plugged into the virtually
+/// synchronous SMR service. Commands are opaque byte strings; apply() must
+/// be deterministic so that every replica that applies the same sequence
+/// reaches the same state.
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+  /// Applies one multicast command from `sender`.
+  virtual void apply(NodeId sender, const wire::Bytes& command) = 0;
+  /// Serializes the full replica state.
+  virtual wire::Bytes snapshot() const = 0;
+  /// Replaces the replica state with a snapshot (view installation /
+  /// follower adoption). Malformed snapshots must reset to default.
+  virtual void restore(const wire::Bytes& snapshot) = 0;
+  /// Default-initializes (joiners, resetVars()).
+  virtual void reset() = 0;
+};
+
+/// A simple replicated key→value machine; commands are "set k v" /
+/// "del k" strings. Used by the examples and the SMR consistency tests.
+class KvStateMachine final : public StateMachine {
+ public:
+  void apply(NodeId sender, const wire::Bytes& command) override;
+  wire::Bytes snapshot() const override;
+  void restore(const wire::Bytes& snapshot) override;
+  void reset() override { data_.clear(); }
+
+  const std::map<std::string, std::string>& data() const { return data_; }
+  /// Order-sensitive digest of the applied history (divergence detector).
+  std::uint64_t digest() const { return digest_; }
+
+  /// Command builders.
+  static wire::Bytes set_cmd(const std::string& key, const std::string& value);
+  static wire::Bytes del_cmd(const std::string& key);
+
+ private:
+  std::map<std::string, std::string> data_;
+  std::uint64_t digest_ = 0;
+};
+
+}  // namespace ssr::vs

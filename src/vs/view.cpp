@@ -1,0 +1,24 @@
+#include "vs/view.hpp"
+
+namespace ssr::vs {
+
+void View::encode(wire::Writer& w) const {
+  id.encode(w);
+  w.id_set(set);
+}
+
+std::optional<View> View::decode(wire::Reader& r) {
+  auto id = Counter::decode(r);
+  if (!id) return std::nullopt;
+  View v;
+  v.id = *id;
+  v.set = r.id_set();
+  return v;
+}
+
+std::string View::to_string() const {
+  if (is_null()) return "view(⊥)";
+  return "view(" + id.to_string() + "," + set.to_string() + ")";
+}
+
+}  // namespace ssr::vs

@@ -1,0 +1,429 @@
+#include "vs/vs_smr.hpp"
+
+#include <algorithm>
+
+namespace ssr::vs {
+
+// ---------------------------------------------------------------------------
+// Wire format
+// ---------------------------------------------------------------------------
+
+wire::Bytes VSRecord::encode() const {
+  wire::Writer w;
+  view.encode(w);
+  w.u8(static_cast<std::uint8_t>(status));
+  w.u64(rnd);
+  w.bytes(replica);
+  w.u16(static_cast<std::uint16_t>(msgs.size()));
+  for (const auto& [id, m] : msgs) {
+    w.node_id(id);
+    w.bytes(m);
+  }
+  w.bytes(input);
+  prop_view.encode(w);
+  w.boolean(no_crd);
+  w.boolean(suspend);
+  w.node_id(crd);
+  return w.take();
+}
+
+std::optional<VSRecord> VSRecord::decode(const wire::Bytes& raw) {
+  wire::Reader r(raw);
+  VSRecord rec;
+  auto view = View::decode(r);
+  if (!view) return std::nullopt;
+  rec.view = *view;
+  const std::uint8_t status = r.u8();
+  if (status > 2) return std::nullopt;
+  rec.status = static_cast<Status>(status);
+  rec.rnd = r.u64();
+  rec.replica = r.bytes();
+  const std::uint16_t n = r.u16();
+  if (n > wire::Reader::kMaxElements) return std::nullopt;
+  for (std::uint16_t i = 0; i < n && r.ok(); ++i) {
+    NodeId id = r.node_id();
+    rec.msgs.emplace_back(id, r.bytes());
+  }
+  rec.input = r.bytes();
+  auto pv = View::decode(r);
+  if (!pv) return std::nullopt;
+  rec.prop_view = *pv;
+  rec.no_crd = r.boolean();
+  rec.suspend = r.boolean();
+  rec.crd = r.node_id();
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return rec;
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+VsSmr::VsSmr(dlink::LinkMux& mux, reconf::RecSA& recsa,
+             counter::CounterManager& counters, NodeId self,
+             std::unique_ptr<StateMachine> sm, FetchFn fetch, EvalConf eval,
+             counter::IncrementConfig inc_cfg, Rng rng)
+    : mux_(mux),
+      recsa_(recsa),
+      counters_(counters),
+      self_(self),
+      sm_(std::move(sm)),
+      fetch_(std::move(fetch)),
+      eval_(std::move(eval)),
+      inc_(recsa, counters, mux, self, inc_cfg, rng) {
+  sm_->reset();
+  mine_.replica = sm_->snapshot();
+  mux_.subscribe(dlink::kPortVS, [this](NodeId from, const wire::Bytes& d) {
+    on_message(from, d);
+  });
+}
+
+void VsSmr::on_message(NodeId from, const wire::Bytes& data) {
+  if (from == self_) return;
+  auto rec = VSRecord::decode(data);
+  if (!rec) return;
+  records_[from] = std::move(*rec);
+}
+
+const VSRecord* VsSmr::record_of(NodeId id) const {
+  if (id == self_) return &mine_;
+  auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator discovery (lines 6–8)
+// ---------------------------------------------------------------------------
+
+IdSet VsSmr::seem_crd(const IdSet& part, const IdSet& conf) const {
+  IdSet out;
+  const std::size_t conf_majority = conf.size() / 2 + 1;
+  for (NodeId l : part) {
+    if (!conf.contains(l)) continue;
+    const VSRecord* st = record_of(l);
+    if (st == nullptr) continue;
+    const View& pv = st->prop_view;
+    if (pv.is_null() || pv.proposer() != l) continue;
+    if (pv.set.intersection_size(conf) < conf_majority) continue;
+    if (!pv.set.contains(l) || !pv.set.contains(self_)) continue;
+    if (st->status == Status::kMulticast &&
+        (!(st->view == pv) || st->crd != l)) {
+      continue;
+    }
+    if (st->status == Status::kInstall && st->crd != l) continue;
+    out.insert(l);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// The do-forever loop
+// ---------------------------------------------------------------------------
+
+void VsSmr::tick() {
+  inc_.tick();
+  if (!recsa_.is_participant()) {
+    mux_.clear_state_all(dlink::kPortVS);
+    return;
+  }
+  const reconf::ConfigValue cur = recsa_.get_config();  // line 5
+  const IdSet part = recsa_.participants();
+
+  // Crash cleanup: drop records of processors we no longer trust.
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (!recsa_.trusted().contains(it->first)) {
+      it = records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  if (!cur.is_proper()) {
+    // No usable configuration (brute-force reset in progress): suspend and
+    // wait for recSA to re-establish one.
+    mine_.suspend = true;
+    broadcast(part, IdSet{});
+    return;
+  }
+  const IdSet& conf = cur.ids();
+
+  // Lines 6–8: coordinator discovery.
+  const IdSet seem = seem_crd(part, conf);
+  valid_crd_ = kNoNode;
+  for (NodeId l : seem) {
+    if (valid_crd_ == kNoNode ||
+        View::id_less(record_of(valid_crd_)->prop_view,
+                      record_of(l)->prop_view)) {
+      valid_crd_ = l;
+    }
+  }
+  mine_.no_crd = (valid_crd_ == kNoNode);
+  mine_.crd = valid_crd_;
+
+  // Line 9: suspension bookkeeping.
+  if (valid_crd_ == self_ && mine_.status == Status::kMulticast &&
+      reconf_ready_) {
+    const bool still = eval_(conf);
+    reconf_ready_ = still;
+    if (still && !mine_.suspend) ++stats_.suspensions;
+    mine_.suspend = still;
+  } else if (valid_crd_ != self_ && valid_crd_ != kNoNode) {
+    const VSRecord* st = record_of(valid_crd_);
+    if (st->status != Status::kMulticast) {
+      mine_.suspend = false;
+      reconf_ready_ = false;
+    }
+  }
+  if (!recsa_.no_reco()) mine_.suspend = true;
+
+  // Lines 10 / 11–17 / 18–23.
+  if (!maybe_propose(part, conf)) {
+    if (valid_crd_ == self_) {
+      coordinator_step(part);
+    } else if (valid_crd_ != kNoNode) {
+      follower_step();
+    }
+  }
+
+  broadcast(part, seem);  // lines 24–25
+}
+
+// Line 10: view proposal.
+bool VsSmr::maybe_propose(const IdSet& part, const IdSet& conf) {
+  if (inc_pending_) return true;  // a mint is in flight
+  const std::size_t conf_majority = conf.size() / 2 + 1;
+  if (part.intersection_size(conf) < conf_majority) return false;
+  if (!recsa_.no_reco()) return false;
+
+  bool no_crd_case = false;
+  if (valid_crd_ == kNoNode) {
+    std::size_t votes = 0;
+    for (NodeId k : part) {
+      const VSRecord* st = record_of(k);
+      if (st != nullptr && st->no_crd) ++votes;
+    }
+    no_crd_case = votes >= conf_majority;
+  }
+  bool repropose_case = false;
+  if (valid_crd_ == self_ && !(part == mine_.prop_view.set)) {
+    std::size_t votes = 0;
+    for (NodeId k : part) {
+      const VSRecord* st = record_of(k);
+      if (st != nullptr && st->prop_view == mine_.prop_view) ++votes;
+    }
+    repropose_case = votes >= conf_majority;
+  }
+  if (!no_crd_case && !repropose_case) return false;
+
+  // (status, propV) ← (Propose, ⟨inc(), FD.part⟩); inc() is asynchronous —
+  // the proposal takes effect when the counter is minted.
+  inc_pending_ = true;
+  ++stats_.proposals_started;
+  const IdSet proposed = part;
+  inc_.begin([this, proposed](std::optional<Counter> c) {
+    inc_pending_ = false;
+    if (!c) {
+      ++stats_.inc_aborts;  // retried on a later tick
+      return;
+    }
+    mine_.status = Status::kPropose;
+    mine_.prop_view = View{*c, proposed};
+  });
+  return true;
+}
+
+// Lines 11–17: coordinator actions.
+void VsSmr::coordinator_step(const IdSet& part) {
+  (void)part;
+  // Gate: every relevant processor reports an aligned state.
+  bool aligned_view = true;
+  for (NodeId j : mine_.view.set) {
+    if (j == self_) continue;
+    const VSRecord* st = record_of(j);
+    if (st == nullptr || !(st->view == mine_.view) ||
+        st->status != mine_.status || st->rnd != mine_.rnd) {
+      aligned_view = false;
+      break;
+    }
+  }
+  bool aligned_prop = mine_.status != Status::kMulticast;
+  if (aligned_prop) {
+    for (NodeId j : mine_.prop_view.set) {
+      if (j == self_) continue;
+      const VSRecord* st = record_of(j);
+      if (st == nullptr || !(st->prop_view == mine_.prop_view) ||
+          st->status != mine_.status) {
+        aligned_prop = false;
+        break;
+      }
+    }
+  }
+
+  switch (mine_.status) {
+    case Status::kMulticast: {
+      if (!aligned_view) return;
+      // Suspension bookkeeping (lines 12–14): hold rounds once every view
+      // member acknowledged the suspension.
+      const reconf::ConfigValue cur = recsa_.get_config();
+      const bool want =
+          (cur.is_proper() && eval_(cur.ids())) || !recsa_.no_reco();
+      if (want && !mine_.suspend) ++stats_.suspensions;
+      mine_.suspend = want;
+      bool all_susp = mine_.suspend;
+      if (all_susp) {
+        for (NodeId j : mine_.view.set) {
+          if (j == self_) continue;
+          const VSRecord* st = record_of(j);
+          if (st == nullptr || !st->suspend) {
+            all_susp = false;
+            break;
+          }
+        }
+      }
+      reconf_ready_ = all_susp;
+      if (reconf_ready_ || !recsa_.no_reco()) return;  // no new rounds
+      // Advance one multicast round (lines 15–16): collect every member's
+      // last fetched input, apply, and snapshot post-apply.
+      std::vector<std::pair<NodeId, wire::Bytes>> batch;
+      for (NodeId j : mine_.view.set) {
+        const VSRecord* st = record_of(j);
+        if (st == nullptr) continue;
+        batch.emplace_back(j, st->input);
+      }
+      mine_.rnd += 1;
+      mine_.msgs = batch;
+      for (const auto& [id, m] : batch) {
+        if (!m.empty()) sm_->apply(id, m);
+      }
+      mine_.replica = sm_->snapshot();
+      ++stats_.rounds_applied;
+      emit_round(mine_.view, mine_.rnd, batch);
+      auto next = fetch_();
+      mine_.input = next ? std::move(*next) : wire::Bytes{};
+      return;
+    }
+    case Status::kPropose: {
+      if (!aligned_prop) return;
+      synch_state();  // (state, status, msg) ← (synchState, Install, synchMsgs)
+      mine_.status = Status::kInstall;
+      return;
+    }
+    case Status::kInstall: {
+      if (!aligned_prop) return;
+      mine_.view = mine_.prop_view;
+      mine_.status = Status::kMulticast;
+      mine_.rnd = 0;
+      mine_.suspend = false;
+      reconf_ready_ = false;
+      ++stats_.views_installed;
+      emit_round(mine_.view, 0, mine_.msgs);
+      auto next = fetch_();
+      mine_.input = next ? std::move(*next) : wire::Bytes{};
+      return;
+    }
+  }
+}
+
+// Lines 18–23: follower actions.
+void VsSmr::follower_step() {
+  const VSRecord* st = record_of(valid_crd_);
+  if (st == nullptr) return;
+  switch (st->status) {
+    case Status::kMulticast:
+    case Status::kInstall: {
+      const bool differs = !(st->view == mine_.view) ||
+                           st->rnd != mine_.rnd ||
+                           st->status != mine_.status;
+      if (!differs) return;
+      // state[i] ← state[ℓ]: the coordinator's snapshot is post-apply, so
+      // adoption replaces rather than re-applies (no double delivery).
+      mine_.view = st->view;
+      mine_.status = st->status;
+      mine_.rnd = st->rnd;
+      mine_.replica = st->replica;
+      mine_.msgs = st->msgs;
+      mine_.suspend = st->suspend;  // also adopts the suspend flag
+      mine_.prop_view = st->prop_view;
+      sm_->restore(st->replica);
+      ++stats_.adoptions;
+      if (st->status == Status::kMulticast) {
+        emit_round(st->view, st->rnd, st->msgs);
+        if (!st->suspend) {
+          auto next = fetch_();
+          mine_.input = next ? std::move(*next) : wire::Bytes{};
+        }
+      }
+      return;
+    }
+    case Status::kPropose: {
+      // (status, propV) ← state[ℓ].(status, propV): join the proposal (and
+      // abandon our own, if any).
+      mine_.status = Status::kPropose;
+      mine_.prop_view = st->prop_view;
+      return;
+    }
+  }
+}
+
+// synchState()/synchMsgs(): consolidate the most recent state among the
+// proposed view's members (majority intersection guarantees it contains the
+// last completed round of the previous view).
+void VsSmr::synch_state() {
+  const VSRecord* best = &mine_;
+  for (NodeId j : mine_.prop_view.set) {
+    if (j == self_) continue;
+    const VSRecord* st = record_of(j);
+    if (st == nullptr) continue;
+    const bool newer = View::id_less(best->view, st->view) ||
+                       (best->view == st->view && best->rnd < st->rnd);
+    if (newer) best = st;
+  }
+  if (best != &mine_) {
+    mine_.replica = best->replica;
+    mine_.msgs = best->msgs;
+    mine_.rnd = best->rnd;
+    sm_->restore(best->replica);
+  }
+}
+
+void VsSmr::emit_round(const View& v, std::uint64_t rnd,
+                       const std::vector<std::pair<NodeId, wire::Bytes>>& m) {
+  if (applied_any_ && applied_view_id_ == v.id && applied_rnd_ >= rnd) return;
+  applied_any_ = true;
+  applied_view_id_ = v.id;
+  applied_rnd_ = rnd;
+  if (deliver_) deliver_(v, rnd, m);
+}
+
+bool VsSmr::need_delicate_reconf() const {
+  if (!reconf_ready_ || valid_crd_ != self_) return false;
+  if (mine_.status != Status::kMulticast) return false;
+  const reconf::ConfigValue cur = recsa_.get_config();
+  return cur.is_proper() && eval_(cur.ids());
+}
+
+// Lines 24–25: broadcast the full state to the relevant processors.
+void VsSmr::broadcast(const IdSet& part, const IdSet& seem) {
+  IdSet send_set = seem;
+  if (valid_crd_ == self_) send_set = send_set.unite(mine_.prop_view.set);
+  if (mine_.no_crd || mine_.status == Status::kPropose) {
+    send_set = send_set.unite(recsa_.trusted());
+  }
+  // Followers also keep the coordinator's candidates updated about their
+  // round progress; always include the participant set when small systems
+  // are still converging.
+  send_set = send_set.unite(part);
+  const wire::Bytes encoded = mine_.encode();
+  for (NodeId j : send_set) {
+    if (j == self_) continue;
+    if (!recsa_.trusted().contains(j)) continue;
+    mux_.publish_state(dlink::kPortVS, j, encoded);
+  }
+  for (NodeId peer : mux_.peers()) {
+    if (!send_set.contains(peer) || !recsa_.trusted().contains(peer)) {
+      mux_.clear_state(dlink::kPortVS, peer);
+    }
+  }
+}
+
+}  // namespace ssr::vs

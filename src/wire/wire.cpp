@@ -1,0 +1,116 @@
+#include "wire/wire.hpp"
+
+namespace ssr::wire {
+
+void Writer::u8(std::uint8_t v) { out_.push_back(v); }
+
+void Writer::u16(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v));
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::boolean(bool v) { u8(v ? 1 : 0); }
+
+void Writer::id_set(const IdSet& s) {
+  u16(static_cast<std::uint16_t>(s.size()));
+  for (NodeId id : s) node_id(id);
+}
+
+void Writer::bytes(const Bytes& b) {
+  u32(static_cast<std::uint32_t>(b.size()));
+  out_.insert(out_.end(), b.begin(), b.end());
+}
+
+void Writer::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  out_.insert(out_.end(), s.begin(), s.end());
+}
+
+bool Reader::take(std::size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t Reader::u8() {
+  if (!take(1)) return 0;
+  return data_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  if (!take(2)) return 0;
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  if (!take(4)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  if (!take(8)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+bool Reader::boolean() {
+  std::uint8_t v = u8();
+  if (v > 1) ok_ = false;  // corrupted flag byte
+  return v == 1;
+}
+
+IdSet Reader::id_set() {
+  std::uint16_t n = u16();
+  if (!ok_ || n > kMaxElements) {
+    ok_ = false;
+    return {};
+  }
+  std::vector<NodeId> ids;
+  ids.reserve(n);
+  for (std::uint16_t i = 0; i < n && ok_; ++i) ids.push_back(node_id());
+  if (!ok_) return {};
+  return IdSet::from_vector(std::move(ids));
+}
+
+Bytes Reader::bytes() {
+  std::uint32_t n = u32();
+  if (!ok_ || n > data_.size() - pos_) {
+    ok_ = false;
+    return {};
+  }
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string Reader::str() {
+  std::uint32_t n = u32();
+  if (!ok_ || n > data_.size() - pos_) {
+    ok_ = false;
+    return {};
+  }
+  std::string out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                  data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+}  // namespace ssr::wire

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/id_set.hpp"
+#include "util/types.hpp"
+
+namespace ssr::wire {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Serializer producing the bounded wire format used by every protocol
+/// message. The format is explicit (little-endian fixed ints + length
+/// prefixes) so that messages have a provable size bound and byte-level
+/// fault injection exercises the same decode paths as real corruption.
+class Writer {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void boolean(bool v);
+  void node_id(NodeId v) { u32(v); }
+  /// Length-prefixed id set (u16 count).
+  void id_set(const IdSet& s);
+  /// Length-prefixed raw bytes (u32 count).
+  void bytes(const Bytes& b);
+  void str(const std::string& s);
+
+  const Bytes& data() const { return out_; }
+  Bytes take() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+/// Deserializer. Decoding arbitrary (possibly corrupted) byte strings must
+/// never crash: every accessor reports failure through ok() and returns a
+/// default value after the first malformed field. Callers check ok() once at
+/// the end of a message decode.
+class Reader {
+ public:
+  explicit Reader(const Bytes& data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  bool boolean();
+  NodeId node_id() { return u32(); }
+  IdSet id_set();
+  Bytes bytes();
+  std::string str();
+
+  /// True iff no read ran past the buffer or hit a malformed field.
+  bool ok() const { return ok_; }
+  /// True iff the whole buffer was consumed (strict decoders require this).
+  bool exhausted() const { return pos_ == data_.size(); }
+
+  /// Caps accepted collection sizes; corrupted length prefixes otherwise
+  /// cause pathological allocations.
+  static constexpr std::size_t kMaxElements = 1 << 16;
+
+ private:
+  bool take(std::size_t n);
+
+  const Bytes& data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace ssr::wire

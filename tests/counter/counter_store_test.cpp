@@ -1,0 +1,121 @@
+// Unit tests of the counter store (Algorithm 4.2's receipt action over
+// counter pairs, Algorithm 4.3's structures).
+#include "counter/counter_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssr::counter {
+namespace {
+
+Label mk_label(NodeId creator, std::uint32_t sting,
+               std::vector<std::uint32_t> anti = {}) {
+  Label l;
+  l.creator = creator;
+  l.sting = sting;
+  std::sort(anti.begin(), anti.end());
+  l.antistings = std::move(anti);
+  return l;
+}
+
+Counter mk(NodeId creator, std::uint32_t sting, std::uint64_t seqn,
+           NodeId wid) {
+  return Counter{mk_label(creator, sting), seqn, wid};
+}
+
+CounterStore make_store(NodeId self, const IdSet& members) {
+  CounterStore s(self, label::StoreConfig{}, Rng(7));
+  s.rebuild(members);
+  return s;
+}
+
+TEST(CounterStore, MintsFreshEpochWhenEmpty) {
+  auto s = make_store(1, IdSet{1, 2});
+  s.refresh();
+  ASSERT_TRUE(s.local_max().legit());
+  EXPECT_EQ(s.local_max().creator(), 1u);
+  EXPECT_EQ(s.local_max().mct->seqn, 0u);
+  EXPECT_EQ(s.local_max().mct->wid, 1u);
+}
+
+TEST(CounterStore, AdoptsGreaterCounterSameLabel) {
+  auto s = make_store(1, IdSet{1, 2});
+  const Counter base = mk(2, 9, 3, 1);
+  s.receipt(CounterPair::of(base), CounterPair::null(), 2);
+  ASSERT_TRUE(s.local_max().legit());
+  EXPECT_EQ(*s.local_max().mct, base);
+  const Counter higher = mk(2, 9, 7, 2);
+  s.receipt(CounterPair::of(higher), CounterPair::null(), 2);
+  EXPECT_EQ(*s.local_max().mct, higher);
+}
+
+TEST(CounterStore, SameLabelQueueKeepsGreatest) {
+  auto s = make_store(1, IdSet{1, 2});
+  s.receipt(CounterPair::of(mk(2, 9, 3, 1)), CounterPair::null(), 2);
+  s.receipt(CounterPair::of(mk(2, 9, 7, 2)), CounterPair::null(), 2);
+  const auto* q = s.queue(2);
+  ASSERT_NE(q, nullptr);
+  int copies = 0;
+  for (const auto& cp : *q) {
+    if (cp.has_main() && cp.main() == mk_label(2, 9)) {
+      ++copies;
+      EXPECT_EQ(cp.mct->seqn, 7u);
+    }
+  }
+  EXPECT_EQ(copies, 1);
+}
+
+TEST(CounterStore, CancelledEpochNotSelected) {
+  auto s = make_store(1, IdSet{1, 2});
+  CounterPair dead = CounterPair::of(mk(2, 9, 100, 2));
+  dead.cancel_exhausted();
+  s.receipt(dead, CounterPair::null(), 2);
+  // No legit counter from 2 → a fresh own epoch is minted instead.
+  ASSERT_TRUE(s.local_max().legit());
+  EXPECT_EQ(s.local_max().creator(), 1u);
+}
+
+TEST(CounterStore, GreaterLabelWinsOverGreaterSeqn) {
+  auto s = make_store(1, IdSet{1, 2, 3});
+  s.receipt(CounterPair::of(mk(2, 5, 999, 2)), CounterPair::null(), 2);
+  s.receipt(CounterPair::of(mk(3, 5, 1, 3)), CounterPair::null(), 3);
+  ASSERT_TRUE(s.local_max().legit());
+  EXPECT_EQ(s.local_max().creator(), 3u);  // creator order dominates
+}
+
+TEST(CounterStore, RebuildPurgesEverything) {
+  auto s = make_store(1, IdSet{1, 2, 3});
+  s.receipt(CounterPair::of(mk(3, 5, 10, 3)), CounterPair::null(), 3);
+  s.rebuild(IdSet{1, 2});
+  EXPECT_EQ(s.max_entry(3), nullptr);
+  s.refresh();
+  ASSERT_TRUE(s.local_max().legit());
+  EXPECT_NE(s.local_max().creator(), 3u);
+}
+
+TEST(CounterStore, ForeignCreatorCleanedFromMax) {
+  auto s = make_store(1, IdSet{1, 2});
+  s.inject_max(2, CounterPair::of(mk(9, 5, 10, 9)));
+  s.clean_max(IdSet{1, 2});
+  const auto* e = s.max_entry(2);
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(e->has_main());
+}
+
+// The same-creator epoch chain: a fresh mint dominates the cancelled one.
+TEST(CounterStore, FreshEpochDominatesOwnCancelled) {
+  auto s = make_store(2, IdSet{1, 2});
+  s.refresh();
+  const Counter first = *s.local_max().mct;
+  // Exhaust the first epoch.
+  CounterPair dead = s.local_max();
+  dead.cancel_exhausted();
+  s.inject_max(2, dead);
+  s.refresh();
+  ASSERT_TRUE(s.local_max().legit());
+  const Counter second = *s.local_max().mct;
+  EXPECT_TRUE(Counter::ct_less(first, second))
+      << first.to_string() << " vs " << second.to_string();
+}
+
+}  // namespace
+}  // namespace ssr::counter

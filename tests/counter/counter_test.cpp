@@ -1,0 +1,97 @@
+#include "counter/counter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssr::counter {
+namespace {
+
+Label mk_label(NodeId creator, std::uint32_t sting) {
+  Label l;
+  l.creator = creator;
+  l.sting = sting;
+  return l;
+}
+
+Counter mk(NodeId creator, std::uint64_t seqn, NodeId wid) {
+  return Counter{mk_label(creator, 1), seqn, wid};
+}
+
+TEST(Counter, OrderBySeqnWithinLabel) {
+  EXPECT_TRUE(Counter::ct_less(mk(1, 5, 1), mk(1, 6, 1)));
+  EXPECT_FALSE(Counter::ct_less(mk(1, 6, 1), mk(1, 5, 1)));
+}
+
+TEST(Counter, WidBreaksTies) {
+  EXPECT_TRUE(Counter::ct_less(mk(1, 5, 1), mk(1, 5, 2)));
+  EXPECT_FALSE(Counter::ct_less(mk(1, 5, 2), mk(1, 5, 1)));
+}
+
+TEST(Counter, LabelDominatesSeqn) {
+  Counter small{mk_label(1, 1), 999, 9};
+  Counter big{mk_label(2, 1), 0, 0};
+  EXPECT_TRUE(Counter::ct_less(small, big));
+}
+
+TEST(Counter, StrictOrderIsIrreflexive) {
+  Counter c = mk(1, 5, 1);
+  EXPECT_FALSE(Counter::ct_less(c, c));
+}
+
+TEST(Counter, Roundtrip) {
+  Counter c = mk(3, 77, 4);
+  wire::Writer w;
+  c.encode(w);
+  wire::Reader r(w.data());
+  auto decoded = Counter::decode(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, c);
+}
+
+TEST(CounterPair, ExhaustionCancels) {
+  CounterPair p = CounterPair::of(mk(1, 100, 1));
+  EXPECT_FALSE(p.exhausted(1000));
+  EXPECT_TRUE(p.exhausted(100));
+  p.cancel_exhausted();
+  EXPECT_FALSE(p.legit());
+  EXPECT_TRUE(p.has_main());
+}
+
+TEST(CounterPair, MergeKeepsGreatestSameLabel) {
+  CounterPair a = CounterPair::of(mk(1, 5, 1));
+  CounterPair b = CounterPair::of(mk(1, 9, 2));
+  EXPECT_EQ(a.merged_with(b).mct->seqn, 9u);
+  EXPECT_EQ(b.merged_with(a).mct->seqn, 9u);
+}
+
+TEST(CounterPair, MergePrefersCancelled) {
+  CounterPair a = CounterPair::of(mk(1, 5, 1));
+  CounterPair b = a;
+  b.cancel_exhausted();
+  EXPECT_FALSE(a.merged_with(b).legit());
+  EXPECT_FALSE(b.merged_with(a).legit());
+}
+
+TEST(CounterPair, SameMainComparesLabelOnly) {
+  CounterPair a = CounterPair::of(mk(1, 5, 1));
+  CounterPair b = CounterPair::of(mk(1, 50, 2));
+  EXPECT_TRUE(a.same_main(b));
+}
+
+TEST(CounterPair, TotalLessUsesSeqn) {
+  CounterPair a = CounterPair::of(mk(1, 5, 1));
+  CounterPair b = CounterPair::of(mk(1, 6, 1));
+  EXPECT_TRUE(CounterPair::total_less(a, b));
+  EXPECT_FALSE(CounterPair::total_less(b, a));
+}
+
+TEST(CounterPair, Roundtrip) {
+  CounterPair p = CounterPair::of(mk(2, 8, 3));
+  p.cancel_with(mk_label(2, 9));
+  wire::Writer w;
+  p.encode(w);
+  wire::Reader r(w.data());
+  EXPECT_EQ(CounterPair::decode(r), p);
+}
+
+}  // namespace
+}  // namespace ssr::counter

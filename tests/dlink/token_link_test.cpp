@@ -1,0 +1,197 @@
+#include "dlink/token_link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssr::dlink {
+namespace {
+
+TEST(Frame, EncodeDecodeRoundtrip) {
+  Frame f;
+  f.kind = FrameKind::kData;
+  f.link_sender = 3;
+  f.label = 9;
+  f.payload = wire::Bytes{1, 2, 3};
+  auto decoded = Frame::decode(f.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->kind, FrameKind::kData);
+  EXPECT_EQ(decoded->link_sender, 3u);
+  EXPECT_EQ(decoded->label, 9);
+  EXPECT_EQ(decoded->payload, (wire::Bytes{1, 2, 3}));
+}
+
+TEST(Frame, AckHasNoPayload) {
+  Frame f;
+  f.kind = FrameKind::kAck;
+  f.link_sender = 1;
+  f.label = 2;
+  auto decoded = Frame::decode(f.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->kind, FrameKind::kAck);
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(Frame, GarbageRejected) {
+  EXPECT_FALSE(Frame::decode(wire::Bytes{}).has_value());
+  EXPECT_FALSE(Frame::decode(wire::Bytes{0}).has_value());
+  EXPECT_FALSE(Frame::decode(wire::Bytes{99, 1, 2}).has_value());
+}
+
+TEST(Bundle, RoundtripMultipleItems) {
+  std::vector<BundleItem> items;
+  items.push_back({kPortRecSA, true, wire::Bytes{1}});
+  items.push_back({kPortCounter, false, wire::Bytes{2, 3}});
+  auto decoded = decode_bundle(encode_bundle(items));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), 2u);
+  EXPECT_EQ((*decoded)[0].port, kPortRecSA);
+  EXPECT_TRUE((*decoded)[0].is_state);
+  EXPECT_EQ((*decoded)[1].data, (wire::Bytes{2, 3}));
+  EXPECT_FALSE((*decoded)[1].is_state);
+}
+
+TEST(Bundle, TrailingGarbageRejected) {
+  auto raw = encode_bundle({{kPortRecSA, true, wire::Bytes{1}}});
+  raw.push_back(0xFF);
+  EXPECT_FALSE(decode_bundle(raw).has_value());
+}
+
+// --- Link pair harness ------------------------------------------------------
+
+struct LinkPair {
+  sim::Scheduler sched;
+  net::Network net;
+  LinkConfig cfg;
+  std::vector<wire::Bytes> a_outbox, b_outbox;  // next payloads to send
+  std::vector<wire::Bytes> a_got, b_got;
+  int a_beats = 0, b_beats = 0;
+  std::unique_ptr<TokenLink> a, b;
+
+  explicit LinkPair(net::ChannelConfig ch = make_channel(), LinkConfig lc = {})
+      : net(sched, Rng(7), ch), cfg(lc) {
+    cfg.ack_threshold = 2 * ch.capacity + 1;
+    cfg.clean_threshold = 2 * ch.capacity + 1;
+    a = std::make_unique<TokenLink>(
+        net, sched, Rng(1), cfg, 1, 2, [this] { return pop(a_outbox); },
+        [this](const wire::Bytes& d) { a_got_push(d); }, [this] { ++a_beats; });
+    b = std::make_unique<TokenLink>(
+        net, sched, Rng(2), cfg, 2, 1, [this] { return pop(b_outbox); },
+        [this](const wire::Bytes& d) { b_got_push(d); }, [this] { ++b_beats; });
+    net.attach(1, [this](const net::Packet& p) {
+      auto f = Frame::decode(p.payload);
+      if (f) a->handle_frame(*f);
+    });
+    net.attach(2, [this](const net::Packet& p) {
+      auto f = Frame::decode(p.payload);
+      if (f) b->handle_frame(*f);
+    });
+  }
+
+  static net::ChannelConfig make_channel() {
+    net::ChannelConfig ch;
+    ch.capacity = 3;
+    ch.loss_probability = 0.05;
+    return ch;
+  }
+
+  wire::Bytes pop(std::vector<wire::Bytes>& box) {
+    if (box.empty()) return {};
+    wire::Bytes out = box.front();
+    box.erase(box.begin());
+    return out;
+  }
+  void a_got_push(const wire::Bytes& d) {
+    if (!d.empty()) a_got.push_back(d);
+  }
+  void b_got_push(const wire::Bytes& d) {
+    if (!d.empty()) b_got.push_back(d);
+  }
+};
+
+TEST(TokenLink, DeliversQueuedPayloadsInOrder) {
+  LinkPair lp;
+  for (std::uint8_t i = 1; i <= 5; ++i) lp.a_outbox.push_back({i});
+  lp.a->start();
+  lp.b->start();
+  lp.sched.run_until(30 * kSec);
+  ASSERT_GE(lp.b_got.size(), 5u);
+  for (std::uint8_t i = 1; i <= 5; ++i) {
+    EXPECT_EQ(lp.b_got[i - 1], wire::Bytes{i}) << int(i);
+  }
+}
+
+TEST(TokenLink, TokenRoundsProduceHeartbeats) {
+  LinkPair lp;
+  lp.a->start();
+  lp.b->start();
+  lp.sched.run_until(20 * kSec);
+  EXPECT_GT(lp.a_beats, 10);
+  EXPECT_GT(lp.b_beats, 10);
+  EXPECT_GT(lp.a->stats().rounds_completed, 5u);
+}
+
+TEST(TokenLink, CleaningCompletesBeforeData) {
+  LinkPair lp;
+  lp.a->start();
+  lp.b->start();
+  EXPECT_TRUE(lp.a->cleaning());
+  lp.sched.run_until(20 * kSec);
+  EXPECT_FALSE(lp.a->cleaning());
+  EXPECT_EQ(lp.a->stats().cleans_completed, 1u);
+}
+
+TEST(TokenLink, StrictCleanDiscardsPreCleanData) {
+  LinkPair lp;
+  // Stale data packet sits in the channel before any cleaning.
+  Frame stale;
+  stale.kind = FrameKind::kData;
+  stale.link_sender = 1;
+  stale.label = 3;
+  stale.payload = wire::Bytes{0xEE};
+  lp.net.channel(1, 2).inject_packet(stale.encode());
+  lp.a->start();
+  lp.b->start();
+  lp.sched.run_until(20 * kSec);
+  for (const auto& d : lp.b_got) EXPECT_NE(d, wire::Bytes{0xEE});
+  EXPECT_GT(lp.b->stats().stale_discarded, 0u);
+}
+
+TEST(TokenLink, SurvivesChannelGarbage) {
+  LinkPair lp;
+  lp.a_outbox.push_back({42});
+  lp.a->start();
+  lp.b->start();
+  lp.net.channel(1, 2).inject_garbage(3);
+  lp.net.channel(2, 1).inject_garbage(3);
+  lp.sched.run_until(30 * kSec);
+  ASSERT_FALSE(lp.b_got.empty());
+  EXPECT_EQ(lp.b_got[0], wire::Bytes{42});
+}
+
+TEST(TokenLink, ShutdownStopsTraffic) {
+  LinkPair lp;
+  lp.a->start();
+  lp.b->start();
+  lp.sched.run_until(5 * kSec);
+  lp.a->shutdown();
+  lp.b->shutdown();
+  const auto sent_before = lp.net.channel(1, 2).stats().sent;
+  lp.sched.run_until(10 * kSec);
+  EXPECT_EQ(lp.net.channel(1, 2).stats().sent, sent_before);
+}
+
+TEST(TokenLink, HighLossStillDelivers) {
+  auto ch = LinkPair::make_channel();
+  ch.loss_probability = 0.4;
+  LinkPair lp(ch);
+  for (std::uint8_t i = 1; i <= 3; ++i) lp.a_outbox.push_back({i});
+  lp.a->start();
+  lp.b->start();
+  lp.sched.run_until(120 * kSec);
+  ASSERT_GE(lp.b_got.size(), 3u);
+  EXPECT_EQ(lp.b_got[0], wire::Bytes{1});
+  EXPECT_EQ(lp.b_got[1], wire::Bytes{2});
+  EXPECT_EQ(lp.b_got[2], wire::Bytes{3});
+}
+
+}  // namespace
+}  // namespace ssr::dlink

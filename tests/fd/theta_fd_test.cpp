@@ -1,0 +1,127 @@
+#include "fd/theta_fd.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssr::fd {
+namespace {
+
+TEST(ThetaFD, TrustsSelfAlways) {
+  ThetaFD fd(1, {});
+  EXPECT_TRUE(fd.trusted().contains(1));
+  EXPECT_EQ(fd.active_estimate(), 1u);
+}
+
+TEST(ThetaFD, TrustsHeartbeatingPeers) {
+  ThetaFD fd(1, {});
+  for (int i = 0; i < 10; ++i) {
+    fd.heartbeat(2);
+    fd.heartbeat(3);
+  }
+  EXPECT_EQ(fd.trusted(), (IdSet{1, 2, 3}));
+  EXPECT_EQ(fd.active_estimate(), 3u);
+}
+
+TEST(ThetaFD, SuspectsSilentPeerEventually) {
+  FdConfig cfg;
+  cfg.theta = 5;
+  ThetaFD fd(1, cfg);
+  fd.heartbeat(2);
+  fd.heartbeat(3);
+  // 3 goes silent; 2 keeps beating — 3's count grows without bound.
+  for (int i = 0; i < 200; ++i) fd.heartbeat(2);
+  EXPECT_TRUE(fd.trusted().contains(2));
+  EXPECT_FALSE(fd.trusted().contains(3));
+}
+
+TEST(ThetaFD, RecentlyCrashedStillRankedUntilGapGrows) {
+  FdConfig cfg;
+  cfg.theta = 5;
+  ThetaFD fd(1, cfg);
+  for (int i = 0; i < 10; ++i) {
+    fd.heartbeat(2);
+    fd.heartbeat(3);
+  }
+  // Immediately after the crash the counts are still close.
+  fd.heartbeat(2);
+  EXPECT_TRUE(fd.trusted().contains(3));
+}
+
+TEST(ThetaFD, ActiveEstimateSeesGap) {
+  FdConfig cfg;
+  cfg.theta = 4;
+  ThetaFD fd(1, cfg);
+  fd.heartbeat(2);
+  fd.heartbeat(3);
+  fd.heartbeat(4);
+  for (int i = 0; i < 300; ++i) {
+    fd.heartbeat(2);
+    fd.heartbeat(3);
+  }
+  // 4 is far behind the gap: estimate counts self + 2 + 3.
+  EXPECT_EQ(fd.active_estimate(), 3u);
+}
+
+TEST(ThetaFD, RankingSortsByFreshness) {
+  ThetaFD fd(1, {});
+  fd.heartbeat(5);
+  fd.heartbeat(6);
+  fd.heartbeat(7);  // freshest
+  auto r = fd.ranking();
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0].first, 7u);
+}
+
+TEST(ThetaFD, BoundedStorageEvictsStalest) {
+  FdConfig cfg;
+  cfg.max_nodes = 4;  // self + 3 peers
+  ThetaFD fd(1, cfg);
+  for (NodeId p = 2; p <= 10; ++p) fd.heartbeat(p);
+  EXPECT_LE(fd.ranking().size(), 3u);
+  EXPECT_LE(fd.trusted().size(), 4u);
+}
+
+TEST(ThetaFD, ForgetDropsEntry) {
+  ThetaFD fd(1, {});
+  fd.heartbeat(2);
+  fd.forget(2);
+  EXPECT_FALSE(fd.trusted().contains(2));
+}
+
+TEST(ThetaFD, RecoversFromCorruptedCounts) {
+  FdConfig cfg;
+  cfg.theta = 5;
+  ThetaFD fd(1, cfg);
+  fd.heartbeat(2);
+  fd.heartbeat(3);
+  Rng rng(77);
+  fd.inject_corruption(rng, 1'000'000);
+  // Alive peers keep exchanging tokens; their counts re-zero and the
+  // corrupted values wash out (self-stabilization of the detector).
+  for (int i = 0; i < 50; ++i) {
+    fd.heartbeat(2);
+    fd.heartbeat(3);
+  }
+  EXPECT_TRUE(fd.trusted().contains(2));
+  EXPECT_TRUE(fd.trusted().contains(3));
+}
+
+class ThetaSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property: for any Θ, a continuously heartbeating peer is trusted and a
+// peer that stopped is eventually suspected.
+TEST_P(ThetaSweep, CompletenessAndAccuracy) {
+  FdConfig cfg;
+  cfg.theta = GetParam();
+  ThetaFD fd(1, cfg);
+  fd.heartbeat(2);
+  fd.heartbeat(3);
+  for (int i = 0; i < 5000; ++i) fd.heartbeat(2);
+  EXPECT_TRUE(fd.trusted().contains(2));
+  EXPECT_FALSE(fd.trusted().contains(3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ThetaSweep,
+                         ::testing::Values(2, 4, 8, 16, 64));
+
+}  // namespace
+}  // namespace ssr::fd

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "harness/monitors.hpp"
+#include "harness/world.hpp"
+
+namespace ssr::harness {
+namespace {
+
+// A freshly booted system has no participants at all ("complete collapse"
+// in the paper's terms): the joining mechanism seeds a brute-force reset and
+// every active processor becomes a participant of one common configuration
+// (Theorem 3.15 reached from the all-joiner state).
+TEST(Bootstrap, FiveNodesConvergeToCommonConfig) {
+  WorldConfig cfg;
+  cfg.seed = 7;
+  World w(cfg);
+  for (NodeId id = 1; id <= 5; ++id) w.add_node(id);
+  auto t = w.run_until_converged(120 * kSec);
+  ASSERT_TRUE(t.has_value()) << "no convergence within the time budget";
+  auto common = w.common_config();
+  ASSERT_TRUE(common.has_value());
+  EXPECT_EQ(*common, (IdSet{1, 2, 3, 4, 5}));
+  for (NodeId id = 1; id <= 5; ++id) {
+    EXPECT_TRUE(w.node(id).recsa().is_participant()) << id;
+  }
+}
+
+TEST(Bootstrap, SingleNodeBootstraps) {
+  WorldConfig cfg;
+  cfg.seed = 11;
+  World w(cfg);
+  w.add_node(1);
+  auto t = w.run_until_converged(120 * kSec);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*w.common_config(), IdSet{1});
+}
+
+// Closure (Theorem 3.16): once converged, a long execution without crashes
+// or explicit requests never changes the configuration.
+TEST(Bootstrap, ClosureNoSpuriousReconfigurations) {
+  WorldConfig cfg;
+  cfg.seed = 13;
+  World w(cfg);
+  for (NodeId id = 1; id <= 4; ++id) w.add_node(id);
+  ASSERT_TRUE(w.run_until_converged(120 * kSec).has_value());
+
+  ConfigHistoryMonitor monitor;
+  monitor.attach(w);
+  const SimTime start = w.scheduler().now();
+  w.run_for(120 * kSec);
+  EXPECT_EQ(monitor.events_since(start), 0u);
+  EXPECT_TRUE(w.converged());
+}
+
+}  // namespace
+}  // namespace ssr::harness

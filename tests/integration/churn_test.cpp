@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "harness/fault_injector.hpp"
+#include "harness/monitors.hpp"
+#include "harness/world.hpp"
+
+namespace ssr::harness {
+namespace {
+
+WorldConfig fast_config(std::uint64_t seed) {
+  WorldConfig cfg;
+  cfg.seed = seed;
+  cfg.node.enable_vs = false;
+  return cfg;
+}
+
+// Sets the "replace on any suspected member" policy at a node.
+void aggressive_policy(node::Node& n) {
+  n.set_eval_conf([&n](const IdSet& cfg) {
+    return cfg.intersection_size(n.failure_detector().trusted()) < cfg.size();
+  });
+}
+
+bool await_config(World& w, const IdSet& expect, SimTime budget) {
+  const SimTime deadline = w.scheduler().now() + budget;
+  while (w.scheduler().now() < deadline) {
+    auto c = w.common_config();
+    if (c && *c == expect) return true;
+    w.run_for(50 * kMsec);
+  }
+  auto c = w.common_config();
+  return c && *c == expect;
+}
+
+// Rolling churn: joins and crashes interleave, the configuration follows
+// the participation (the paper's motivating scenario from the intro).
+TEST(Churn, RollingReplacementThroughJoinsAndCrashes) {
+  World w(fast_config(201));
+  for (NodeId id = 1; id <= 4; ++id) {
+    aggressive_policy(w.add_node(id));
+  }
+  ASSERT_TRUE(w.run_until_converged(180 * kSec).has_value());
+
+  NodeId next = 5;
+  for (NodeId victim = 1; victim <= 3; ++victim, ++next) {
+    aggressive_policy(w.add_node(next));
+    // Wait for the join.
+    const SimTime deadline = w.scheduler().now() + 600 * kSec;
+    while (w.scheduler().now() < deadline &&
+           !w.node(next).recsa().is_participant()) {
+      w.run_for(50 * kMsec);
+    }
+    ASSERT_TRUE(w.node(next).recsa().is_participant()) << next;
+    w.crash(victim);
+    ASSERT_TRUE(await_config(w, w.alive(), 900 * kSec))
+        << "wave " << victim << " did not restabilize";
+  }
+  EXPECT_EQ(*w.common_config(), (IdSet{4, 5, 6, 7}));
+}
+
+// A majority collapse of the configuration is recovered through recMA's
+// brute trigger; surviving joiners are pulled in as participants.
+TEST(Churn, MajorityCollapseWithJoinersRecovers) {
+  World w(fast_config(203));
+  for (NodeId id = 1; id <= 5; ++id) w.add_node(id);
+  ASSERT_TRUE(w.run_until_converged(180 * kSec).has_value());
+  // Two joiners arrive...
+  w.add_node(6);
+  w.add_node(7);
+  w.run_for(150 * kSec);
+  // ...then a majority of the old configuration dies at once.
+  w.crash(1);
+  w.crash(2);
+  w.crash(3);
+  ASSERT_TRUE(await_config(w, w.alive(), 1200 * kSec));
+  EXPECT_TRUE(w.common_config()->contains(6));
+  EXPECT_TRUE(w.common_config()->contains(7));
+}
+
+// The full configuration crashes; only joiners survive. The complete
+// collapse path (participate() → ⊥ → brute force) re-forms the system.
+TEST(Churn, TotalConfigurationLossRecoversFromJoiners) {
+  World w(fast_config(205));
+  for (NodeId id = 1; id <= 3; ++id) w.add_node(id);
+  ASSERT_TRUE(w.run_until_converged(180 * kSec).has_value());
+  // Two nodes join but are *denied* participation (application refuses), so
+  // they stay pure joiners.
+  for (NodeId id = 1; id <= 3; ++id) {
+    w.node(id).set_pass_query([] { return false; });
+  }
+  w.add_node(4);
+  w.add_node(5);
+  w.run_for(60 * kSec);
+  ASSERT_FALSE(w.node(4).recsa().is_participant());
+  ASSERT_FALSE(w.node(5).recsa().is_participant());
+  // The whole configuration dies.
+  w.crash(1);
+  w.crash(2);
+  w.crash(3);
+  ASSERT_TRUE(await_config(w, IdSet{4, 5}, 1200 * kSec));
+  EXPECT_TRUE(w.node(4).recsa().is_participant());
+  EXPECT_TRUE(w.node(5).recsa().is_participant());
+}
+
+// Transient faults during churn: corruption is injected mid-wave and the
+// system still reaches a conflict-free configuration of the survivors.
+TEST(Churn, CorruptionDuringChurnStillConverges) {
+  World w(fast_config(207));
+  for (NodeId id = 1; id <= 5; ++id) w.add_node(id);
+  ASSERT_TRUE(w.run_until_converged(180 * kSec).has_value());
+  FaultInjector fi(w, 2070);
+  w.add_node(6);
+  w.run_for(30 * kSec);  // mid-join
+  fi.corrupt_all_recsa();
+  fi.fill_channels_with_garbage(2);
+  w.crash(2);
+  auto t = w.run_until_converged(1200 * kSec);
+  ASSERT_TRUE(t.has_value());
+  // Everyone alive ends as a participant of one configuration.
+  EXPECT_EQ(*w.common_config(), w.alive());
+}
+
+// Long random soak: random joins, crashes and corruptions; after the storm
+// the system must settle. Parameterized across seeds.
+class ChurnSoak : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChurnSoak, SettlesAfterRandomStorm) {
+  const std::uint64_t seed = GetParam();
+  World w(fast_config(seed));
+  Rng rng(seed * 7919);
+  NodeId next_id = 6;
+  for (NodeId id = 1; id <= 5; ++id) w.add_node(id);
+  ASSERT_TRUE(w.run_until_converged(180 * kSec).has_value());
+  FaultInjector fi(w, seed + 1);
+  for (int event = 0; event < 6; ++event) {
+    switch (rng.next_below(3)) {
+      case 0:
+        if (w.alive().size() < 9) w.add_node(next_id++);
+        break;
+      case 1: {
+        // Crash someone, but never below 2 alive.
+        const IdSet alive = w.alive();
+        if (alive.size() > 2) {
+          const auto victims = alive.values();
+          w.crash(victims[rng.next_below(victims.size())]);
+        }
+        break;
+      }
+      case 2: {
+        const IdSet alive = w.alive();
+        const auto ids = alive.values();
+        fi.corrupt_recsa(ids[rng.next_below(ids.size())]);
+        break;
+      }
+    }
+    w.run_for(rng.next_range(5, 40) * kSec);
+  }
+  auto t = w.run_until_converged(1800 * kSec);
+  ASSERT_TRUE(t.has_value()) << "seed " << seed;
+  // Conflict-free and service-capable: the configuration is proper and a
+  // majority of its members is alive. (It need not equal the alive set —
+  // with the quarter policy a single missing member legally stays in the
+  // config, and joiners are participants, not members.)
+  const IdSet cfg_now = *w.common_config();
+  EXPECT_GT(cfg_now.intersection_size(w.alive()), cfg_now.size() / 2)
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnSoak,
+                         ::testing::Values(301, 302, 303, 304));
+
+}  // namespace
+}  // namespace ssr::harness

@@ -1,0 +1,129 @@
+#include "net/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssr::net {
+namespace {
+
+ChannelConfig reliable_config() {
+  ChannelConfig cfg;
+  cfg.loss_probability = 0.0;
+  cfg.duplicate_probability = 0.0;
+  cfg.capacity = 4;
+  return cfg;
+}
+
+TEST(Channel, DeliversPayload) {
+  sim::Scheduler sched;
+  std::vector<wire::Bytes> got;
+  Channel ch(sched, Rng(1), reliable_config(), 1, 2,
+             [&](Packet p) { got.push_back(p.payload); });
+  ch.send(wire::Bytes{42});
+  sched.run_until(kSec);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], wire::Bytes{42});
+}
+
+TEST(Channel, StampsSrcDst) {
+  sim::Scheduler sched;
+  Packet seen;
+  Channel ch(sched, Rng(1), reliable_config(), 7, 9,
+             [&](Packet p) { seen = p; });
+  ch.send(wire::Bytes{1});
+  sched.run_until(kSec);
+  EXPECT_EQ(seen.src, 7u);
+  EXPECT_EQ(seen.dst, 9u);
+}
+
+TEST(Channel, CapacityBoundsInFlight) {
+  sim::Scheduler sched;
+  auto cfg = reliable_config();
+  cfg.capacity = 4;
+  std::size_t delivered = 0;
+  Channel ch(sched, Rng(3), cfg, 1, 2, [&](Packet) { ++delivered; });
+  for (int i = 0; i < 100; ++i) ch.send(wire::Bytes{std::uint8_t(i)});
+  EXPECT_LE(ch.in_flight(), 4u);
+  sched.run_until(kSec);
+  EXPECT_LE(delivered, 4u);
+  EXPECT_GT(ch.stats().overflowed, 0u);
+}
+
+TEST(Channel, LossyChannelDropsSome) {
+  sim::Scheduler sched;
+  auto cfg = reliable_config();
+  cfg.loss_probability = 0.5;
+  std::size_t delivered = 0;
+  Channel ch(sched, Rng(5), cfg, 1, 2, [&](Packet) { ++delivered; });
+  for (int i = 0; i < 200; ++i) {
+    ch.send(wire::Bytes{1});
+    sched.run_for(10 * kMsec);  // drain so capacity never interferes
+  }
+  EXPECT_GT(delivered, 50u);
+  EXPECT_LT(delivered, 150u);
+  EXPECT_GT(ch.stats().lost, 0u);
+}
+
+// Fair communication: a packet sent repeatedly is received eventually even
+// on a very lossy channel (loss < 1).
+TEST(Channel, FairCommunication) {
+  sim::Scheduler sched;
+  auto cfg = reliable_config();
+  cfg.loss_probability = 0.9;
+  bool got = false;
+  Channel ch(sched, Rng(11), cfg, 1, 2, [&](Packet) { got = true; });
+  for (int i = 0; i < 500 && !got; ++i) {
+    ch.send(wire::Bytes{1});
+    sched.run_for(5 * kMsec);
+  }
+  EXPECT_TRUE(got);
+}
+
+TEST(Channel, DuplicationDeliversTwice) {
+  sim::Scheduler sched;
+  auto cfg = reliable_config();
+  cfg.duplicate_probability = 1.0;
+  cfg.capacity = 64;
+  std::size_t delivered = 0;
+  Channel ch(sched, Rng(13), cfg, 1, 2, [&](Packet) { ++delivered; });
+  ch.send(wire::Bytes{1});
+  sched.run_until(kSec);
+  EXPECT_EQ(delivered, 2u);
+}
+
+TEST(Channel, InjectGarbageDeliversArbitraryBytes) {
+  sim::Scheduler sched;
+  std::vector<wire::Bytes> got;
+  Channel ch(sched, Rng(17), reliable_config(), 1, 2,
+             [&](Packet p) { got.push_back(p.payload); });
+  ch.inject_garbage(3);
+  sched.run_until(kSec);
+  EXPECT_EQ(got.size(), 3u);
+  for (const auto& b : got) EXPECT_FALSE(b.empty());
+}
+
+TEST(Channel, FlushDropsInFlight) {
+  sim::Scheduler sched;
+  std::size_t delivered = 0;
+  Channel ch(sched, Rng(19), reliable_config(), 1, 2,
+             [&](Packet) { ++delivered; });
+  ch.send(wire::Bytes{1});
+  ch.send(wire::Bytes{2});
+  ch.flush();
+  sched.run_until(kSec);
+  EXPECT_EQ(delivered, 0u);
+}
+
+TEST(Channel, CorruptionFlipsBytes) {
+  sim::Scheduler sched;
+  auto cfg = reliable_config();
+  cfg.corrupt_probability = 1.0;
+  wire::Bytes got;
+  Channel ch(sched, Rng(23), cfg, 1, 2, [&](Packet p) { got = p.payload; });
+  ch.send(wire::Bytes{0x00, 0x00, 0x00, 0x00});
+  sched.run_until(kSec);
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_NE(got, (wire::Bytes{0, 0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace ssr::net

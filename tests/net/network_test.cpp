@@ -1,0 +1,80 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssr::net {
+namespace {
+
+ChannelConfig reliable_config() {
+  ChannelConfig cfg;
+  cfg.loss_probability = 0.0;
+  cfg.duplicate_probability = 0.0;
+  return cfg;
+}
+
+struct Fixture {
+  sim::Scheduler sched;
+  Network net{sched, Rng(99), reliable_config()};
+};
+
+TEST(Network, RoutesBetweenAttachedNodes) {
+  Fixture f;
+  std::vector<std::pair<NodeId, wire::Bytes>> got;
+  f.net.attach(2, [&](const Packet& p) { got.emplace_back(p.src, p.payload); });
+  f.net.send(1, 2, wire::Bytes{5});
+  f.sched.run_until(kSec);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, 1u);
+  EXPECT_EQ(got[0].second, wire::Bytes{5});
+}
+
+TEST(Network, DetachedDestinationDropsSilently) {
+  Fixture f;
+  f.net.send(1, 2, wire::Bytes{5});
+  f.sched.run_until(kSec);  // no handler — nothing to observe, no crash
+  SUCCEED();
+}
+
+TEST(Network, DetachModelsCrash) {
+  Fixture f;
+  std::size_t delivered = 0;
+  f.net.attach(2, [&](const Packet&) { ++delivered; });
+  f.net.send(1, 2, wire::Bytes{1});
+  f.sched.run_until(kSec);
+  EXPECT_EQ(delivered, 1u);
+  f.net.detach(2);
+  f.net.send(1, 2, wire::Bytes{2});
+  f.sched.run_until(2 * kSec);
+  EXPECT_EQ(delivered, 1u);  // crashed processor takes no further steps
+}
+
+TEST(Network, ChannelsArePerDirectedPair) {
+  Fixture f;
+  f.net.attach(1, [](const Packet&) {});
+  f.net.attach(2, [](const Packet&) {});
+  f.net.send(1, 2, wire::Bytes{1});
+  f.net.send(2, 1, wire::Bytes{2});
+  EXPECT_EQ(f.net.channel(1, 2).stats().sent, 1u);
+  EXPECT_EQ(f.net.channel(2, 1).stats().sent, 1u);
+}
+
+TEST(Network, LoopbackDelivers) {
+  Fixture f;
+  std::size_t delivered = 0;
+  f.net.attach(3, [&](const Packet&) { ++delivered; });
+  f.net.send(3, 3, wire::Bytes{1});
+  f.sched.run_until(kSec);
+  EXPECT_EQ(delivered, 1u);
+}
+
+TEST(Network, ForEachChannelVisitsAll) {
+  Fixture f;
+  f.net.send(1, 2, {});
+  f.net.send(2, 3, {});
+  int visited = 0;
+  f.net.for_each_channel([&](NodeId, NodeId, Channel&) { ++visited; });
+  EXPECT_EQ(visited, 2);
+}
+
+}  // namespace
+}  // namespace ssr::net

@@ -1,0 +1,68 @@
+#include "reconf/notification.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssr::reconf {
+namespace {
+
+TEST(Notification, DefaultIsNoProposal) {
+  Notification n;
+  EXPECT_TRUE(n.is_default());
+  EXPECT_EQ(n, Notification::none());
+}
+
+TEST(Notification, ProposalIsNotDefault) {
+  auto n = Notification::proposal(1, IdSet{1, 2});
+  EXPECT_FALSE(n.is_default());
+  EXPECT_EQ(n.phase, 1);
+  EXPECT_EQ(n.set, (IdSet{1, 2}));
+}
+
+TEST(Notification, LexOrderPhaseDominates) {
+  auto p1 = Notification::proposal(1, IdSet{9});
+  auto p2 = Notification::proposal(2, IdSet{1});
+  EXPECT_TRUE(Notification::lex_less(p1, p2));
+  EXPECT_FALSE(Notification::lex_less(p2, p1));
+}
+
+TEST(Notification, LexOrderSetBreaksTies) {
+  auto a = Notification::proposal(1, IdSet{1, 2});
+  auto b = Notification::proposal(1, IdSet{1, 3});
+  EXPECT_TRUE(Notification::lex_less(a, b));
+  EXPECT_FALSE(Notification::lex_less(b, a));
+  EXPECT_FALSE(Notification::lex_less(a, a));
+}
+
+TEST(Notification, DefaultBelowEverything) {
+  EXPECT_TRUE(
+      Notification::lex_less(Notification::none(), Notification::proposal(1, IdSet{1})));
+}
+
+TEST(Notification, DegreeFormula) {
+  auto n = Notification::proposal(2, IdSet{1});
+  EXPECT_EQ(n.degree(false), 4);
+  EXPECT_EQ(n.degree(true), 5);
+  EXPECT_EQ(Notification::none().degree(false), 0);
+}
+
+TEST(Notification, Roundtrip) {
+  for (const auto& n :
+       {Notification::none(), Notification::proposal(1, IdSet{1, 5}),
+        Notification::proposal(2, IdSet{})}) {
+    wire::Writer w;
+    n.encode(w);
+    wire::Reader r(w.data());
+    EXPECT_EQ(Notification::decode(r), n);
+  }
+}
+
+TEST(Notification, CorruptedPhaseClamped) {
+  wire::Writer w;
+  w.u8(7);  // invalid phase
+  w.boolean(false);
+  wire::Reader r(w.data());
+  EXPECT_EQ(Notification::decode(r).phase, 0);
+}
+
+}  // namespace
+}  // namespace ssr::reconf

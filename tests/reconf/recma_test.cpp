@@ -1,0 +1,119 @@
+#include "reconf/recma.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/fault_injector.hpp"
+#include "harness/monitors.hpp"
+#include "harness/world.hpp"
+
+namespace ssr::harness {
+namespace {
+
+WorldConfig fast_config(std::uint64_t seed) {
+  WorldConfig cfg;
+  cfg.seed = seed;
+  cfg.node.enable_vs = false;  // exercise recMA's own trigger paths
+  return cfg;
+}
+
+World& converge(World& w, std::size_t n) {
+  for (NodeId id = 1; id <= n; ++id) w.add_node(id);
+  EXPECT_TRUE(w.run_until_converged(180 * kSec).has_value());
+  return w;
+}
+
+std::uint64_t total_majority_triggers(World& w) {
+  std::uint64_t t = 0;
+  for (NodeId id : w.alive()) t += w.node(id).recma().stats().majority_loss_triggers;
+  return t;
+}
+
+std::uint64_t total_eval_triggers(World& w) {
+  std::uint64_t t = 0;
+  for (NodeId id : w.alive()) t += w.node(id).recma().stats().eval_conf_triggers;
+  return t;
+}
+
+// After a crash the survivors still agree on the *old* configuration, so
+// converged() holds trivially; wait until the expected new config installs.
+bool run_until_config(World& w, const IdSet& expect, SimTime timeout) {
+  const SimTime deadline = w.scheduler().now() + timeout;
+  while (w.scheduler().now() < deadline) {
+    auto c = w.common_config();
+    if (c && *c == expect) return true;
+    w.run_for(20 * kMsec);
+  }
+  auto c = w.common_config();
+  return c && *c == expect;
+}
+
+// Lines 12–14: when a majority of the configuration collapses and the whole
+// local core agrees, recMA re-establishes a configuration from the alive
+// participants (Lemma 3.20, case 1).
+TEST(RecMA, MajorityCollapseTriggersReconfiguration) {
+  World w(fast_config(41));
+  converge(w, 5);
+  w.crash(3);
+  w.crash(4);
+  w.crash(5);
+  ASSERT_TRUE(run_until_config(w, IdSet{1, 2}, 400 * kSec));
+  EXPECT_GT(total_majority_triggers(w), 0u);
+}
+
+// Lines 16–18: the prediction function advises reconfiguration and a
+// members' majority concurs (Lemma 3.20, case 2). Quarter-failed policy on
+// a 4-member configuration fires after a single crash.
+TEST(RecMA, EvalConfMajorityTriggersReconfiguration) {
+  World w(fast_config(43));
+  converge(w, 4);
+  w.crash(4);
+  ASSERT_TRUE(run_until_config(w, IdSet{1, 2, 3}, 400 * kSec));
+  EXPECT_GT(total_eval_triggers(w) + total_majority_triggers(w), 0u);
+}
+
+// Closure: with every member alive and the prediction function quiet,
+// recMA must never trigger (Lemma 3.19).
+TEST(RecMA, NoTriggerInSteadyState) {
+  World w(fast_config(45));
+  converge(w, 4);
+  const std::uint64_t before =
+      total_eval_triggers(w) + total_majority_triggers(w);
+  w.run_for(120 * kSec);
+  EXPECT_EQ(total_eval_triggers(w) + total_majority_triggers(w), before);
+  EXPECT_TRUE(w.converged());
+}
+
+// Lemma 3.18: stale flags planted by a transient fault cause at most a
+// bounded number of spurious triggerings, and the system returns to a
+// steady config state.
+TEST(RecMA, PlantedStaleFlagsAreBounded) {
+  World w(fast_config(47));
+  converge(w, 4);
+  FaultInjector fi(w, 470);
+  for (NodeId id = 1; id <= 4; ++id) fi.plant_recma_flags(id, true, true);
+  w.run_for(120 * kSec);
+  ASSERT_TRUE(w.run_until_converged(200 * kSec).has_value());
+  // The bound in the paper is O(N² cap); with clean local recomputation the
+  // observed number is tiny.
+  EXPECT_LE(total_eval_triggers(w) + total_majority_triggers(w), 8u);
+  EXPECT_TRUE(w.converged());
+}
+
+// A participant that is not a member must never trigger (line 6 guard).
+TEST(RecMA, NonMemberDoesNotTrigger) {
+  World w(fast_config(49));
+  converge(w, 3);
+  // Shrink the configuration so node 3 is a non-member participant.
+  ASSERT_TRUE(w.node(1).recsa().estab(IdSet{1, 2}));
+  ASSERT_TRUE(w.run_until_converged(200 * kSec).has_value());
+  ASSERT_EQ(*w.common_config(), (IdSet{1, 2}));
+  const auto before = w.node(3).recma().stats();
+  w.run_for(60 * kSec);
+  EXPECT_EQ(w.node(3).recma().stats().majority_loss_triggers,
+            before.majority_loss_triggers);
+  EXPECT_EQ(w.node(3).recma().stats().eval_conf_triggers,
+            before.eval_conf_triggers);
+}
+
+}  // namespace
+}  // namespace ssr::harness

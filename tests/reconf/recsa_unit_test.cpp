@@ -1,0 +1,163 @@
+// White-box tests of Algorithm 3.1's predicates: the stale-information
+// classification (Definition 3.1), the noReco() invariant tests, and the
+// interface guards. Uses a single-node world so the engine runs against a
+// real link mux but with fully controlled state.
+#include <gtest/gtest.h>
+
+#include "harness/world.hpp"
+
+namespace ssr::harness {
+namespace {
+
+WorldConfig unit_config(std::uint64_t seed) {
+  WorldConfig cfg;
+  cfg.seed = seed;
+  cfg.node.enable_vs = false;
+  return cfg;
+}
+
+// A converged single-node system: config = {1}, quiet.
+std::unique_ptr<World> solo() {
+  auto w = std::make_unique<World>(unit_config(901));
+  w->add_node(1);
+  EXPECT_TRUE(w->run_until_converged(120 * kSec).has_value());
+  return w;
+}
+
+TEST(RecSAUnit, SoloNodeIsQuietParticipant) {
+  auto w = solo();
+  auto& r = w->node(1).recsa();
+  EXPECT_TRUE(r.is_participant());
+  EXPECT_TRUE(r.no_reco());
+  EXPECT_EQ(r.get_config(), reconf::ConfigValue::set(IdSet{1}));
+  EXPECT_EQ(r.participants(), IdSet{1});
+}
+
+// Type-1 stale information: a phase-0 notification carrying a set is
+// cleaned by a reset within one iteration.
+TEST(RecSAUnit, Type1StaleDetected) {
+  auto w = solo();
+  auto& r = w->node(1).recsa();
+  const auto before = r.stats().stale_detected[1];
+  r.inject_notification(1, reconf::Notification{0, true, IdSet{1}});
+  w->run_for(10 * kSec);
+  EXPECT_GT(r.stats().stale_detected[1], before);
+  EXPECT_TRUE(w->converged());  // recovered
+}
+
+// Type-2: an empty-set configuration triggers a reset and recovery.
+TEST(RecSAUnit, Type2EmptyConfigDetected) {
+  auto w = solo();
+  auto& r = w->node(1).recsa();
+  const auto resets = r.stats().resets_started;
+  r.inject_config(1, reconf::ConfigValue::set(IdSet{}));
+  w->run_for(10 * kSec);
+  EXPECT_GT(r.stats().resets_started, resets);
+  EXPECT_TRUE(w->converged());
+}
+
+// Type-2: a ⊥ config entry (reset marker) propagates and completes.
+TEST(RecSAUnit, BottomConfigCompletesReset) {
+  auto w = solo();
+  auto& r = w->node(1).recsa();
+  r.inject_config(1, reconf::ConfigValue::bottom());
+  w->run_for(10 * kSec);
+  EXPECT_TRUE(w->converged());
+  EXPECT_EQ(*w->common_config(), IdSet{1});
+}
+
+// Type-4: a proper config disjoint from the participants is replaced.
+TEST(RecSAUnit, Type4DisjointConfigDetected) {
+  auto w = solo();
+  auto& r = w->node(1).recsa();
+  const auto before = r.stats().stale_detected[4];
+  r.inject_config(1, reconf::ConfigValue::set(IdSet{77, 78}));
+  w->run_for(10 * kSec);
+  EXPECT_GT(r.stats().stale_detected[4], before);
+  EXPECT_TRUE(w->converged());
+  EXPECT_EQ(*w->common_config(), IdSet{1});
+}
+
+// noReco() is false while any notification is present in the local view.
+TEST(RecSAUnit, NotificationBlocksNoReco) {
+  auto w = solo();
+  auto& r = w->node(1).recsa();
+  ASSERT_TRUE(r.no_reco());
+  r.inject_notification(1, reconf::Notification::proposal(1, IdSet{1}));
+  EXPECT_FALSE(r.no_reco());
+}
+
+// estab() guards: rejected for non-participants, during reconfigurations,
+// for the empty set and for the identical configuration.
+TEST(RecSAUnit, EstabGuards) {
+  auto w = solo();
+  auto& r = w->node(1).recsa();
+  EXPECT_FALSE(r.estab(IdSet{}));
+  EXPECT_FALSE(r.estab(IdSet{1}));  // == current config
+  // During a reconfiguration (own notification active):
+  r.inject_notification(1, reconf::Notification::proposal(1, IdSet{1}));
+  EXPECT_FALSE(r.estab(IdSet{1, 2}));
+}
+
+// An accepted estab() on a solo system walks the automaton alone
+// (1 → 2 → 0) and installs the proposal.
+TEST(RecSAUnit, SoloDelicateReplacement) {
+  auto w = solo();
+  auto& r = w->node(1).recsa();
+  // Propose a set including a phantom member 9: not proper usage but legal
+  // input — the config installs, then type-4 cleanup does NOT fire because
+  // 1 ∈ config ∩ part.
+  ASSERT_TRUE(r.estab(IdSet{1, 9}));
+  w->run_for(30 * kSec);
+  EXPECT_TRUE(r.no_reco());
+  EXPECT_TRUE(r.get_config().is_set());
+  EXPECT_TRUE(r.get_config().ids().contains(1));
+  EXPECT_GE(r.stats().delicate_installs, 1u);
+}
+
+// getConfig() during quiet periods returns the chosen common value; during
+// a replacement it returns the local view.
+TEST(RecSAUnit, GetConfigFollowsQuietness) {
+  auto w = solo();
+  auto& r = w->node(1).recsa();
+  EXPECT_EQ(r.get_config(), reconf::ConfigValue::set(IdSet{1}));
+  r.inject_notification(1, reconf::Notification::proposal(1, IdSet{1}));
+  EXPECT_FALSE(r.no_reco());
+  EXPECT_EQ(r.get_config(), reconf::ConfigValue::set(IdSet{1}));  // local copy
+}
+
+// Crash cleanup (line 25a): entries of untrusted processors revert to
+// (], dfltNtf) — observable through peer_part_view / peer_is_participant.
+TEST(RecSAUnit, CrashCleanupForgetsUntrusted) {
+  auto w = solo();
+  auto& r = w->node(1).recsa();
+  r.inject_config(42, reconf::ConfigValue::set(IdSet{42}));
+  // 42 never heartbeats, so the next iterations wipe the entry. The planted
+  // conflicting value triggers at most a transient reset, then: gone.
+  w->run_for(20 * kSec);
+  EXPECT_FALSE(r.peer_is_participant(42));
+  EXPECT_TRUE(w->converged());
+}
+
+// Fuzz: arbitrary state + repeated ticks never crash and always return to a
+// legal execution (memory-safety + convergence at the unit level).
+class RecSAFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RecSAFuzz, SurvivesArbitraryLocalState) {
+  auto w = std::make_unique<World>(unit_config(GetParam()));
+  w->add_node(1);
+  w->add_node(2);
+  ASSERT_TRUE(w->run_until_converged(120 * kSec).has_value());
+  Rng rng(GetParam() * 131);
+  for (int round = 0; round < 6; ++round) {
+    w->node(1).recsa().inject_corruption(rng, IdSet{1, 2, 50, 60});
+    w->run_for(30 * kSec);
+  }
+  EXPECT_TRUE(w->run_until_converged(600 * kSec).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecSAFuzz,
+                         ::testing::Values(11, 12, 13, 14, 15, 16));
+
+}  // namespace
+}  // namespace ssr::harness

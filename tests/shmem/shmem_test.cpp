@@ -1,0 +1,186 @@
+#include "shmem/register_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/world.hpp"
+
+namespace ssr::harness {
+namespace {
+
+WorldConfig fast_config(std::uint64_t seed) {
+  WorldConfig cfg;
+  cfg.seed = seed;
+  cfg.node.enable_vs = false;
+  return cfg;
+}
+
+World& converge(World& w, std::size_t n) {
+  for (NodeId id = 1; id <= n; ++id) w.add_node(id);
+  EXPECT_TRUE(w.run_until_converged(180 * kSec).has_value());
+  w.run_for(60 * kSec);  // labels/counters settle
+  return w;
+}
+
+bool write_sync(World& w, NodeId id, const std::string& name,
+                const std::string& value, SimTime timeout = 90 * kSec) {
+  bool done = false, ok = false;
+  if (!w.node(id).registers().write(
+          name, wire::Bytes(value.begin(), value.end()),
+          [&](bool success, counter::Counter) {
+            ok = success;
+            done = true;
+          })) {
+    return false;
+  }
+  const SimTime deadline = w.scheduler().now() + timeout;
+  while (!done && w.scheduler().now() < deadline) w.run_for(5 * kMsec);
+  return done && ok;
+}
+
+bool write_retry(World& w, NodeId id, const std::string& name,
+                 const std::string& value, int tries = 20) {
+  for (int i = 0; i < tries; ++i) {
+    if (write_sync(w, id, name, value)) return true;
+    w.run_for(5 * kSec);
+  }
+  return false;
+}
+
+struct ReadResult {
+  bool ok = false;
+  std::string value;
+  bool valid = false;
+};
+
+ReadResult read_sync(World& w, NodeId id, const std::string& name,
+                     SimTime timeout = 90 * kSec) {
+  ReadResult res;
+  bool done = false;
+  if (!w.node(id).registers().read(
+          name, [&](bool success, const wire::Bytes& v, counter::Counter) {
+            res.ok = success;
+            res.value.assign(v.begin(), v.end());
+            res.valid = !v.empty();
+            done = true;
+          })) {
+    return res;
+  }
+  const SimTime deadline = w.scheduler().now() + timeout;
+  while (!done && w.scheduler().now() < deadline) w.run_for(5 * kMsec);
+  if (!done) res.ok = false;
+  return res;
+}
+
+ReadResult read_retry(World& w, NodeId id, const std::string& name,
+                      int tries = 20) {
+  for (int i = 0; i < tries; ++i) {
+    ReadResult r = read_sync(w, id, name);
+    if (r.ok) return r;
+    w.run_for(5 * kSec);
+  }
+  return {};
+}
+
+TEST(Shmem, WriteThenReadSameNode) {
+  World w(fast_config(121));
+  converge(w, 3);
+  ASSERT_TRUE(write_retry(w, 1, "x", "hello"));
+  ReadResult r = read_retry(w, 1, "x");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.value, "hello");
+}
+
+TEST(Shmem, ReadFromOtherNodeSeesWrite) {
+  World w(fast_config(123));
+  converge(w, 3);
+  ASSERT_TRUE(write_retry(w, 1, "shared", "v1"));
+  ReadResult r = read_retry(w, 3, "shared");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.value, "v1");
+}
+
+TEST(Shmem, LastWriteWins) {
+  World w(fast_config(125));
+  converge(w, 3);
+  ASSERT_TRUE(write_retry(w, 1, "k", "first"));
+  ASSERT_TRUE(write_retry(w, 2, "k", "second"));
+  ReadResult r = read_retry(w, 3, "k");
+  ASSERT_TRUE(r.ok);
+  // The second write completed after the first; its counter tag is larger,
+  // so every subsequent read must return it (MWMR atomicity).
+  EXPECT_EQ(r.value, "second");
+}
+
+TEST(Shmem, UnwrittenRegisterReadsEmpty) {
+  World w(fast_config(127));
+  converge(w, 3);
+  ReadResult r = read_retry(w, 2, "nothing-here");
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(r.valid);
+}
+
+TEST(Shmem, IndependentRegisters) {
+  World w(fast_config(129));
+  converge(w, 3);
+  ASSERT_TRUE(write_retry(w, 1, "a", "va"));
+  ASSERT_TRUE(write_retry(w, 2, "b", "vb"));
+  EXPECT_EQ(read_retry(w, 3, "a").value, "va");
+  EXPECT_EQ(read_retry(w, 3, "b").value, "vb");
+}
+
+// Operations during a reconfiguration abort (the service is suspending,
+// paper §4.3 end) and succeed once the new configuration is in place; the
+// register value survives the delicate reconfiguration.
+TEST(Shmem, ValueSurvivesDelicateReconfiguration) {
+  World w(fast_config(131));
+  converge(w, 4);
+  ASSERT_TRUE(write_retry(w, 1, "durable", "kept"));
+  ASSERT_TRUE(w.node(1).recsa().estab(IdSet{1, 2, 3}));
+  ASSERT_TRUE(w.run_until_converged(300 * kSec).has_value());
+  w.run_for(60 * kSec);
+  ReadResult r = read_retry(w, 2, "durable");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.value, "kept");
+}
+
+TEST(Shmem, RejectsOverlappingOps) {
+  World w(fast_config(133));
+  converge(w, 3);
+  bool done = false;
+  ASSERT_TRUE(w.node(1).registers().write(
+      "q", wire::Bytes{1}, [&](bool, counter::Counter) { done = true; }));
+  EXPECT_FALSE(w.node(1).registers().write(
+      "q2", wire::Bytes{2}, [](bool, counter::Counter) {}));
+  const SimTime deadline = w.scheduler().now() + 90 * kSec;
+  while (!done && w.scheduler().now() < deadline) w.run_for(5 * kMsec);
+  EXPECT_TRUE(done);
+}
+
+// Write tags are strictly increasing across completed writes.
+TEST(Shmem, TagsStrictlyIncrease) {
+  World w(fast_config(135));
+  converge(w, 3);
+  std::vector<counter::Counter> tags;
+  for (int i = 0; i < 5; ++i) {
+    bool done = false;
+    const NodeId who = 1 + (i % 3);
+    while (!w.node(who).registers().write(
+        "seq", wire::Bytes{std::uint8_t(i)},
+        [&](bool ok, counter::Counter tag) {
+          if (ok) tags.push_back(tag);
+          done = true;
+        })) {
+      w.run_for(5 * kSec);
+    }
+    const SimTime deadline = w.scheduler().now() + 90 * kSec;
+    while (!done && w.scheduler().now() < deadline) w.run_for(5 * kMsec);
+    w.run_for(2 * kSec);
+  }
+  ASSERT_GE(tags.size(), 3u);
+  for (std::size_t i = 1; i < tags.size(); ++i) {
+    EXPECT_TRUE(counter::Counter::ct_less(tags[i - 1], tags[i])) << i;
+  }
+}
+
+}  // namespace
+}  // namespace ssr::harness

@@ -1,0 +1,99 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ssr::sim {
+namespace {
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 100u);
+}
+
+TEST(Scheduler, FifoTieBreakAtEqualTimes) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule_at(7, [&order, i] { order.push_back(i); });
+  }
+  s.run_until(10);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, ScheduleAfterUsesCurrentTime) {
+  Scheduler s;
+  SimTime fired_at = 0;
+  s.schedule_at(50, [&] {
+    s.schedule_after(25, [&] { fired_at = s.now(); });
+  });
+  s.run_until(1000);
+  EXPECT_EQ(fired_at, 75u);
+}
+
+TEST(Scheduler, DeadlineStopsExecution) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(10, [&] { ++fired; });
+  s.schedule_at(200, [&] { ++fired; });
+  s.run_until(100);
+  EXPECT_EQ(fired, 1);
+  s.run_until(300);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, CancelledEventsDoNotRun) {
+  Scheduler s;
+  int fired = 0;
+  auto h = s.schedule_at(10, [&] { ++fired; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  s.run_until(100);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler s;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 10) s.schedule_after(5, step);
+  };
+  s.schedule_at(0, step);
+  s.run_until(1000);
+  EXPECT_EQ(chain, 10);
+  EXPECT_EQ(s.events_executed(), 10u);
+}
+
+TEST(Scheduler, StepExecutesOneEvent) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(1, [&] { ++fired; });
+  s.schedule_at(2, [&] { ++fired; });
+  EXPECT_TRUE(s.step(100));
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.step(100));
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(s.step(100));
+}
+
+TEST(Scheduler, HandleOutlivingSchedulerEventIsSafe) {
+  Scheduler s;
+  Scheduler::Handle h;
+  {
+    h = s.schedule_at(5, [] {});
+  }
+  s.run_until(10);
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no-op, must not crash
+}
+
+}  // namespace
+}  // namespace ssr::sim

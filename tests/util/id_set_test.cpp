@@ -1,0 +1,72 @@
+#include "util/id_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssr {
+namespace {
+
+TEST(IdSet, StartsEmpty) {
+  IdSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.contains(1));
+}
+
+TEST(IdSet, InitializerListSortsAndDeduplicates) {
+  IdSet s{5, 1, 3, 1, 5};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.values(), (std::vector<NodeId>{1, 3, 5}));
+}
+
+TEST(IdSet, FromVectorNormalizes) {
+  IdSet s = IdSet::from_vector({9, 2, 2, 7, 9});
+  EXPECT_EQ(s.values(), (std::vector<NodeId>{2, 7, 9}));
+}
+
+TEST(IdSet, InsertReportsNovelty) {
+  IdSet s;
+  EXPECT_TRUE(s.insert(4));
+  EXPECT_FALSE(s.insert(4));
+  EXPECT_TRUE(s.insert(2));
+  EXPECT_EQ(s.values(), (std::vector<NodeId>{2, 4}));
+}
+
+TEST(IdSet, EraseReportsPresence) {
+  IdSet s{1, 2, 3};
+  EXPECT_TRUE(s.erase(2));
+  EXPECT_FALSE(s.erase(2));
+  EXPECT_EQ(s.values(), (std::vector<NodeId>{1, 3}));
+}
+
+TEST(IdSet, SubsetOf) {
+  IdSet small{1, 3};
+  IdSet big{1, 2, 3};
+  EXPECT_TRUE(small.subset_of(big));
+  EXPECT_FALSE(big.subset_of(small));
+  EXPECT_TRUE(IdSet{}.subset_of(small));
+  EXPECT_TRUE(small.subset_of(small));
+}
+
+TEST(IdSet, SetAlgebra) {
+  IdSet a{1, 2, 3, 4};
+  IdSet b{3, 4, 5};
+  EXPECT_EQ(a.intersect(b), (IdSet{3, 4}));
+  EXPECT_EQ(a.unite(b), (IdSet{1, 2, 3, 4, 5}));
+  EXPECT_EQ(a.subtract(b), (IdSet{1, 2}));
+  EXPECT_EQ(a.intersection_size(b), 2u);
+  EXPECT_EQ(a.intersection_size(IdSet{}), 0u);
+}
+
+TEST(IdSet, OrderingIsLexicographicOnSortedContents) {
+  EXPECT_LT((IdSet{1, 2}), (IdSet{1, 3}));
+  EXPECT_LT((IdSet{1}), (IdSet{1, 2}));
+  EXPECT_EQ((IdSet{2, 1}), (IdSet{1, 2}));
+}
+
+TEST(IdSet, ToString) {
+  EXPECT_EQ((IdSet{3, 1}).to_string(), "{1,3}");
+  EXPECT_EQ(IdSet{}.to_string(), "{}");
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,69 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ssr {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(10), 10u);
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.next_range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all values hit
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng r(13);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (r.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.02);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(5);
+  Rng child = parent.fork();
+  // The fork must not replay the parent's stream.
+  Rng parent2(5);
+  parent2.fork();
+  EXPECT_NE(child.next_u64(), parent.next_u64());
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,114 @@
+// Algorithm 4.6: coordinator-led delicate reconfiguration. The coordinator
+// alone decides (needDelicateReconf()) once the whole view acknowledged the
+// suspension; recMA's line-16/17 trigger is replaced by the direct call.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "harness/monitors.hpp"
+#include "harness/world.hpp"
+
+namespace ssr::harness {
+namespace {
+
+struct Workload {
+  std::map<NodeId, std::deque<wire::Bytes>> pending;
+  void attach(World& w, NodeId id) {
+    w.node(id).set_fetch([this, id]() -> std::optional<wire::Bytes> {
+      auto& q = pending[id];
+      if (q.empty()) return std::nullopt;
+      wire::Bytes cmd = q.front();
+      q.pop_front();
+      return cmd;
+    });
+  }
+};
+
+const vs::KvStateMachine& kv(World& w, NodeId id) {
+  return static_cast<const vs::KvStateMachine&>(
+      const_cast<const vs::StateMachine&>(w.node(id).vs()->state_machine()));
+}
+
+// "Absorb new participants" policy: reconfigure whenever the participant
+// set outgrew the configuration. This is the natural application policy for
+// coordinator-led reconfiguration (the proposal set is the participants).
+void absorb_policy(World& w, NodeId id) {
+  auto& n = w.node(id);
+  n.set_eval_conf([&n](const IdSet& cfg) {
+    return !(n.recsa().participants() == cfg) &&
+           !n.recsa().participants().empty();
+  });
+}
+
+TEST(CoordinatorReconf, AbsorbsJoinerThroughSuspension) {
+  WorldConfig cfg;
+  cfg.seed = 601;
+  cfg.node.enable_vs = true;
+  World w(cfg);
+  for (NodeId id = 1; id <= 3; ++id) w.add_node(id);
+  ASSERT_TRUE(w.run_until_converged(300 * kSec).has_value());
+  ASSERT_TRUE(w.run_until_vs_stable(900 * kSec).has_value());
+  for (NodeId id = 1; id <= 3; ++id) absorb_policy(w, id);
+
+  Workload load;
+  for (NodeId id = 1; id <= 3; ++id) load.attach(w, id);
+  load.pending[1].push_back(vs::KvStateMachine::set_cmd("pre", "reconf"));
+  w.run_for(60 * kSec);
+  ASSERT_EQ(*w.common_config(), (IdSet{1, 2, 3}));
+
+  // A joiner arrives; once it is a participant, the coordinator's policy
+  // fires: suspend → needDelicateReconf() → estab(participants).
+  w.add_node(4);
+  absorb_policy(w, 4);
+  load.attach(w, 4);
+  const SimTime deadline = w.scheduler().now() + 1800 * kSec;
+  bool absorbed = false;
+  while (!absorbed && w.scheduler().now() < deadline) {
+    w.run_for(100 * kMsec);
+    auto c = w.common_config();
+    absorbed = c && c->contains(4) && w.vs_stable();
+  }
+  ASSERT_TRUE(absorbed) << "coordinator never reconfigured to absorb p4";
+
+  // The replica state survived the coordinator-led reconfiguration
+  // (Theorem 4.13) and the joiner received it through its view.
+  for (NodeId id = 1; id <= 4; ++id) {
+    const auto& data = kv(w, id).data();
+    auto it = data.find("pre");
+    ASSERT_NE(it, data.end()) << id;
+    EXPECT_EQ(it->second, "reconf") << id;
+  }
+  // Service resumed: suspension lifted, new commands flow.
+  load.pending[4].push_back(vs::KvStateMachine::set_cmd("post", "resumed"));
+  w.run_for(120 * kSec);
+  for (NodeId id = 1; id <= 4; ++id) {
+    const auto& data = kv(w, id).data();
+    auto it = data.find("post");
+    ASSERT_NE(it, data.end()) << id;
+  }
+  EXPECT_FALSE(w.node(1).vs()->suspended());
+}
+
+// With a quiet prediction function the coordinator must never suspend or
+// reconfigure (the closure side of Algorithm 4.6).
+TEST(CoordinatorReconf, NoSuspensionWithoutPolicy) {
+  WorldConfig cfg;
+  cfg.seed = 603;
+  cfg.node.enable_vs = true;
+  World w(cfg);
+  for (NodeId id = 1; id <= 3; ++id) w.add_node(id);
+  ASSERT_TRUE(w.run_until_converged(300 * kSec).has_value());
+  ASSERT_TRUE(w.run_until_vs_stable(900 * kSec).has_value());
+  ConfigHistoryMonitor monitor;
+  monitor.attach(w);
+  w.run_for(180 * kSec);
+  EXPECT_EQ(monitor.events().size(), 0u);
+  std::uint64_t suspensions = 0;
+  for (NodeId id = 1; id <= 3; ++id) {
+    suspensions += w.node(id).vs()->stats().suspensions;
+  }
+  EXPECT_EQ(suspensions, 0u);
+}
+
+}  // namespace
+}  // namespace ssr::harness

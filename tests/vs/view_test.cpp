@@ -1,0 +1,149 @@
+#include "vs/view.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vs/vs_smr.hpp"
+
+namespace ssr::vs {
+namespace {
+
+Counter mk_counter(NodeId creator, std::uint64_t seqn, NodeId wid) {
+  Counter c;
+  c.lbl.creator = creator;
+  c.lbl.sting = 1;
+  c.seqn = seqn;
+  c.wid = wid;
+  return c;
+}
+
+TEST(View, DefaultIsNull) {
+  View v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.proposer(), kNoNode);
+}
+
+TEST(View, NullBelowEveryRealView) {
+  View null_view;
+  View real{mk_counter(1, 0, 1), IdSet{1}};
+  EXPECT_TRUE(View::id_less(null_view, real));
+  EXPECT_FALSE(View::id_less(real, null_view));
+  EXPECT_FALSE(View::id_less(null_view, null_view));
+}
+
+TEST(View, IdOrderFollowsCounters) {
+  View a{mk_counter(1, 3, 1), IdSet{1, 2}};
+  View b{mk_counter(1, 4, 2), IdSet{1, 2}};
+  EXPECT_TRUE(View::id_less(a, b));
+  EXPECT_FALSE(View::id_less(b, a));
+}
+
+TEST(View, ProposerIsCounterWriter) {
+  View v{mk_counter(1, 3, 7), IdSet{1, 7}};
+  EXPECT_EQ(v.proposer(), 7u);
+}
+
+TEST(View, Roundtrip) {
+  View v{mk_counter(2, 9, 3), IdSet{1, 2, 3}};
+  wire::Writer w;
+  v.encode(w);
+  wire::Reader r(w.data());
+  auto decoded = View::decode(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, v);
+}
+
+TEST(VSRecordWire, FullRoundtrip) {
+  VSRecord rec;
+  rec.view = View{mk_counter(1, 5, 2), IdSet{1, 2, 3}};
+  rec.status = Status::kPropose;
+  rec.rnd = 42;
+  rec.replica = wire::Bytes{1, 2, 3};
+  rec.msgs = {{1, wire::Bytes{9}}, {2, wire::Bytes{}}};
+  rec.input = wire::Bytes{7, 7};
+  rec.prop_view = View{mk_counter(1, 6, 3), IdSet{1, 3}};
+  rec.no_crd = true;
+  rec.suspend = true;
+  rec.crd = 3;
+  auto decoded = VSRecord::decode(rec.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->view, rec.view);
+  EXPECT_EQ(decoded->status, rec.status);
+  EXPECT_EQ(decoded->rnd, rec.rnd);
+  EXPECT_EQ(decoded->replica, rec.replica);
+  EXPECT_EQ(decoded->msgs, rec.msgs);
+  EXPECT_EQ(decoded->input, rec.input);
+  EXPECT_EQ(decoded->prop_view, rec.prop_view);
+  EXPECT_EQ(decoded->no_crd, rec.no_crd);
+  EXPECT_EQ(decoded->suspend, rec.suspend);
+  EXPECT_EQ(decoded->crd, rec.crd);
+}
+
+TEST(VSRecordWire, GarbageRejected) {
+  EXPECT_FALSE(VSRecord::decode({}).has_value());
+  EXPECT_FALSE(VSRecord::decode({1, 2, 3, 4}).has_value());
+}
+
+TEST(VSRecordWire, InvalidStatusRejected) {
+  VSRecord rec;
+  wire::Bytes raw = rec.encode();
+  // The status byte follows the view encoding; patch it to an illegal value
+  // by brute force: flip bytes until decode fails *specifically* on status.
+  // Simpler: encode manually with status 9.
+  wire::Writer w;
+  rec.view.encode(w);
+  w.u8(9);  // invalid status
+  wire::Reader probe(w.data());
+  (void)probe;
+  // Append the remainder of a valid record; decode must reject.
+  VSRecord full;
+  wire::Bytes tail = full.encode();
+  // Locate status offset: encode view alone to find the prefix length.
+  wire::Writer prefix;
+  full.view.encode(prefix);
+  wire::Bytes patched = full.encode();
+  patched[prefix.data().size()] = 9;
+  EXPECT_FALSE(VSRecord::decode(patched).has_value());
+}
+
+TEST(KvStateMachine, AppliesAndSnapshots) {
+  KvStateMachine sm;
+  sm.apply(1, KvStateMachine::set_cmd("a", "1"));
+  sm.apply(2, KvStateMachine::set_cmd("b", "2"));
+  sm.apply(1, KvStateMachine::del_cmd("a"));
+  EXPECT_EQ(sm.data().size(), 1u);
+  EXPECT_EQ(sm.data().at("b"), "2");
+
+  KvStateMachine other;
+  other.restore(sm.snapshot());
+  EXPECT_EQ(other.data(), sm.data());
+  EXPECT_EQ(other.digest(), sm.digest());
+}
+
+TEST(KvStateMachine, DigestIsOrderSensitive) {
+  KvStateMachine a, b;
+  a.apply(1, KvStateMachine::set_cmd("x", "1"));
+  a.apply(1, KvStateMachine::set_cmd("x", "2"));
+  b.apply(1, KvStateMachine::set_cmd("x", "2"));
+  b.apply(1, KvStateMachine::set_cmd("x", "1"));
+  EXPECT_EQ(a.data().at("x"), "2");
+  EXPECT_EQ(b.data().at("x"), "1");
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(KvStateMachine, MalformedSnapshotResets) {
+  KvStateMachine sm;
+  sm.apply(1, KvStateMachine::set_cmd("a", "1"));
+  sm.restore(wire::Bytes{1, 2, 3});
+  EXPECT_TRUE(sm.data().empty());
+}
+
+TEST(KvStateMachine, UnknownCommandIgnoredDeterministically) {
+  KvStateMachine a, b;
+  a.apply(1, wire::Bytes{99, 1, 2});
+  b.apply(1, wire::Bytes{99, 1, 2});
+  EXPECT_TRUE(a.data().empty());
+  EXPECT_EQ(a.digest(), b.digest());  // still digested identically
+}
+
+}  // namespace
+}  // namespace ssr::vs
