@@ -1,0 +1,63 @@
+// Scenario-engine bench: runs library scenarios end to end on the
+// deterministic scheduler and reports virtual-time-to-completion plus the
+// trace volume. This is the migration target for ad-hoc bench scripts: a
+// new execution shape is a ScenarioSpec, not another hand-rolled driver.
+#include <benchmark/benchmark.h>
+
+#include "scenario/library.hpp"
+#include "scenario/runner.hpp"
+
+namespace ssr::bench {
+namespace {
+
+void run_named(benchmark::State& state, const char* name) {
+  auto spec = scenario::find_scenario(name);
+  if (!spec) {
+    state.SkipWithError("unknown scenario");
+    return;
+  }
+  double sim_ms = 0;
+  double events = 0;
+  std::uint64_t seed = 9000;
+  for (auto _ : state) {
+    const scenario::ScenarioResult r = scenario::run_scenario(*spec, seed++);
+    if (!r.ok) {
+      state.SkipWithError(r.summary().c_str());
+      return;
+    }
+    sim_ms += static_cast<double>(r.sim_time) / kMsec;
+    events += static_cast<double>(r.trace_events);
+  }
+  const double it = static_cast<double>(state.iterations());
+  state.counters["sim_ms"] = benchmark::Counter(sim_ms / it);
+  state.counters["trace_events"] = benchmark::Counter(events / it);
+}
+
+void BM_ScenarioBootstrap(benchmark::State& state) {
+  run_named(state, "bootstrap");
+}
+void BM_ScenarioTransientBlast(benchmark::State& state) {
+  run_named(state, "transient-blast");
+}
+void BM_ScenarioMajoritySplit(benchmark::State& state) {
+  run_named(state, "majority-split");
+}
+void BM_ScenarioPartitionHeal(benchmark::State& state) {
+  run_named(state, "partition-heal");
+}
+
+BENCHMARK(BM_ScenarioBootstrap)->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(BM_ScenarioTransientBlast)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+BENCHMARK(BM_ScenarioMajoritySplit)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+BENCHMARK(BM_ScenarioPartitionHeal)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace ssr::bench
+
+BENCHMARK_MAIN();

@@ -10,7 +10,7 @@ void ConfigHistoryMonitor::attach(World& world) {
 
 void ConfigHistoryMonitor::attach_node(World& world, NodeId id) {
   auto& n = world.node(id);
-  n.recsa().set_config_change_handler(
+  n.recsa().add_config_change_handler(
       [this, &world, id](const reconf::ConfigValue& c) {
         events_.push_back(Event{world.scheduler().now(), id, c});
       });
@@ -52,7 +52,7 @@ void VirtualSynchronyMonitor::attach(World& world) {
 void VirtualSynchronyMonitor::attach_node(World& world, NodeId id) {
   auto& n = world.node(id);
   if (n.vs() == nullptr) return;
-  n.set_deliver(
+  n.vs()->add_deliver_handler(
       [this](const vs::View& v, std::uint64_t rnd,
              const std::vector<std::pair<NodeId, wire::Bytes>>& msgs) {
         ++deliveries_;

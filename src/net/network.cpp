@@ -19,7 +19,26 @@ Channel& Network::channel(NodeId src, NodeId dst) {
   return *it->second;
 }
 
+void Network::block_pair(NodeId a, NodeId b) {
+  blocked_.insert({a, b});
+  blocked_.insert({b, a});
+}
+
+void Network::split(const IdSet& a, const IdSet& b) {
+  for (NodeId x : a) {
+    for (NodeId y : b) {
+      if (x != y) block_pair(x, y);
+    }
+  }
+}
+
+void Network::heal() { blocked_.clear(); }
+
 void Network::send(NodeId src, NodeId dst, wire::Bytes payload) {
+  if (blocked(src, dst)) {
+    ++packets_blocked_;
+    return;
+  }
   if (src == dst) {
     // Loopback: deliver next step without loss (a processor reading its own
     // state needs no channel; kept for uniformity of broadcast loops).

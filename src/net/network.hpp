@@ -3,10 +3,12 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <utility>
 
 #include "net/channel.hpp"
 #include "sim/scheduler.hpp"
+#include "util/id_set.hpp"
 #include "util/rng.hpp"
 
 namespace ssr::net {
@@ -31,6 +33,22 @@ class Network {
 
   void send(NodeId src, NodeId dst, wire::Bytes payload);
 
+  // -- Partitions -------------------------------------------------------------
+  // A partition blocks packets at the send side in both directions; packets
+  // already in flight still deliver (the fabric does not destroy traffic that
+  // left before the cut). Blocks accumulate until heal() is called.
+
+  /// Blocks both directed channels between `a` and `b`.
+  void block_pair(NodeId a, NodeId b);
+  /// Blocks every pair with one endpoint in `a` and the other in `b`.
+  void split(const IdSet& a, const IdSet& b);
+  /// Removes every block.
+  void heal();
+  bool blocked(NodeId src, NodeId dst) const {
+    return blocked_.count({src, dst}) != 0;
+  }
+  std::uint64_t packets_blocked() const { return packets_blocked_; }
+
   /// Direct access to a channel for fault injection and inspection.
   Channel& channel(NodeId src, NodeId dst);
 
@@ -46,6 +64,8 @@ class Network {
   ChannelConfig cfg_;
   std::map<NodeId, Handler> handlers_;
   std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Channel>> channels_;
+  std::set<std::pair<NodeId, NodeId>> blocked_;
+  std::uint64_t packets_blocked_ = 0;
 };
 
 }  // namespace ssr::net

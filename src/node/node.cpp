@@ -65,9 +65,6 @@ void Node::set_eval_conf(reconf::RecMA::EvalConf fn) {
   eval_conf_ = std::move(fn);
 }
 void Node::set_fetch(vs::VsSmr::FetchFn fn) { fetch_ = std::move(fn); }
-void Node::set_deliver(vs::VsSmr::DeliverFn fn) {
-  if (vs_) vs_->set_deliver_handler(std::move(fn));
-}
 
 void Node::start(const IdSet& seed_peers) {
   if (started_ || crashed_) return;

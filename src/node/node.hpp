@@ -70,8 +70,9 @@ class Node {
   /// Reconfiguration prediction function; default: quarter_failed_policy.
   void set_eval_conf(reconf::RecMA::EvalConf fn);
   /// Next command to multicast through the SMR service.
+  /// (Delivery listeners are appended directly on vs() —
+  /// VsSmr::add_deliver_handler; listeners accumulate.)
   void set_fetch(vs::VsSmr::FetchFn fn);
-  void set_deliver(vs::VsSmr::DeliverFn fn);
 
  private:
   void tick();

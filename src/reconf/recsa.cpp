@@ -102,7 +102,7 @@ void RecSA::set_own_config(ConfigValue v) {
   PeerRecord& me = record(self_);
   if (me.config == v) return;
   me.config = std::move(v);
-  if (on_config_change_) on_config_change_(me.config);
+  for (const auto& fn : on_config_change_) fn(me.config);
 }
 
 void RecSA::config_set(const ConfigValue& val) {

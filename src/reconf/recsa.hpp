@@ -3,6 +3,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "dlink/link_mux.hpp"
 #include "reconf/config_value.hpp"
@@ -115,9 +116,10 @@ class RecSA {
   const RecSAStats& stats() const { return stats_; }
 
   /// Fired whenever config[i] changes value (brute-force install, delicate
-  /// install, reset, participation).
-  void set_config_change_handler(std::function<void(const ConfigValue&)> fn) {
-    on_config_change_ = std::move(fn);
+  /// install, reset, participation). Listeners accumulate — monitors and
+  /// trace recorders observe independently.
+  void add_config_change_handler(std::function<void(const ConfigValue&)> fn) {
+    on_config_change_.push_back(std::move(fn));
   }
 
   // -- Transient-fault injection (tests & benches only) ----------------------
@@ -177,7 +179,7 @@ class RecSA {
   IdSet all_seen_;                        // allSeen
 
   RecSAStats stats_;
-  std::function<void(const ConfigValue&)> on_config_change_;
+  std::vector<std::function<void(const ConfigValue&)>> on_config_change_;
 };
 
 }  // namespace ssr::reconf

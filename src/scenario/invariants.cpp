@@ -1,0 +1,71 @@
+#include "scenario/invariants.hpp"
+
+#include <sstream>
+
+namespace ssr::scenario {
+
+void InvariantRegistry::attach_node(NodeId id) {
+  config_history_.attach_node(world_, id);
+  vsync_.attach_node(world_, id);
+}
+
+void InvariantRegistry::add(std::string name, Check fn) {
+  custom_.emplace_back(std::move(name), std::move(fn));
+}
+
+void InvariantRegistry::mark_stable() {
+  stable_since_ = world_.scheduler().now();
+}
+
+std::optional<InvariantRegistry::Violation>
+InvariantRegistry::closure_violation(SimTime since) const {
+  const std::size_t n = config_history_.events_since(since);
+  if (n == 0) return std::nullopt;
+  std::ostringstream os;
+  os << n << " configuration changes inside the closure window opened at "
+     << since / kMsec << "ms (Theorem 3.16)";
+  return Violation{"closure", os.str()};
+}
+
+void InvariantRegistry::unmark_stable() {
+  if (!stable_since_) return;
+  if (auto v = closure_violation(*stable_since_)) {
+    reported_.push_back(std::move(*v));
+  }
+  stable_since_.reset();
+}
+
+void InvariantRegistry::report(const std::string& invariant, bool ok,
+                               std::string message) {
+  if (!ok) reported_.push_back(Violation{invariant, std::move(message)});
+}
+
+std::vector<InvariantRegistry::Violation> InvariantRegistry::check_all()
+    const {
+  std::vector<Violation> out = reported_;
+
+  if (std::size_t bad = counter_order_.violations(); bad != 0) {
+    std::ostringstream os;
+    os << bad << " real-time-ordered increment pairs violate the counter "
+          "order (Theorem 4.6)";
+    out.push_back(Violation{"counter-order", os.str()});
+  }
+
+  if (vsync_.mismatches() != 0) {
+    std::ostringstream os;
+    os << vsync_.mismatches() << " of " << vsync_.deliveries()
+       << " deliveries diverged at equal (view, round) (Theorem 4.13)";
+    out.push_back(Violation{"virtual-synchrony", os.str()});
+  }
+
+  if (stable_since_) {
+    if (auto v = closure_violation(*stable_since_)) out.push_back(std::move(*v));
+  }
+
+  for (const auto& [name, fn] : custom_) {
+    if (auto msg = fn()) out.push_back(Violation{name, *msg});
+  }
+  return out;
+}
+
+}  // namespace ssr::scenario

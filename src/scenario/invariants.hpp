@@ -1,0 +1,73 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/monitors.hpp"
+
+namespace ssr::scenario {
+
+/// One registry for every execution-level property a run must satisfy.
+///
+/// Wraps the existing harness monitors (config history, counter order,
+/// virtual synchrony) together with the trace-level checks the paper's
+/// theorems add on top:
+///  * closure  — Theorem 3.16: during a marked-stable window no node may
+///    change its configuration;
+///  * silence  — after every node crashed, the scheduler drains to empty
+///    (a stabilized protocol stops doing things; Devismes et al.'s notion
+///    of silent self-stabilization at the event level).
+///
+/// check_all() evaluates every built-in and custom invariant and returns the
+/// violations; a legal execution yields an empty vector.
+class InvariantRegistry {
+ public:
+  struct Violation {
+    std::string invariant;
+    std::string message;
+  };
+
+  /// Custom invariant: returns an error message on violation.
+  using Check = std::function<std::optional<std::string>()>;
+
+  explicit InvariantRegistry(harness::World& world) : world_(world) {}
+
+  /// Attaches the wrapped monitors to one node. Call exactly once per node
+  /// (handlers accumulate; a second attach would double-count events).
+  void attach_node(NodeId id);
+
+  /// Registers a named custom invariant evaluated by check_all().
+  void add(std::string name, Check fn);
+
+  /// Opens a closure window: configuration changes inside it count as
+  /// violations. unmark_stable() closes the window and evaluates it — the
+  /// runner unmarks automatically on churn, faults and partitions, so a
+  /// window covers exactly one legal (fault-free) stretch of the execution.
+  void mark_stable();
+  void unmark_stable();
+  bool stable_marked() const { return stable_since_.has_value(); }
+
+  /// Records a runner-observed pass/fail check (e.g. quiescence drains).
+  void report(const std::string& invariant, bool ok, std::string message);
+
+  harness::ConfigHistoryMonitor& config_history() { return config_history_; }
+  harness::CounterOrderMonitor& counter_order() { return counter_order_; }
+  harness::VirtualSynchronyMonitor& vsync() { return vsync_; }
+
+  std::vector<Violation> check_all() const;
+
+ private:
+  std::optional<Violation> closure_violation(SimTime since) const;
+
+  harness::World& world_;
+  harness::ConfigHistoryMonitor config_history_;
+  harness::CounterOrderMonitor counter_order_;
+  harness::VirtualSynchronyMonitor vsync_;
+  std::optional<SimTime> stable_since_;
+  std::vector<std::pair<std::string, Check>> custom_;
+  std::vector<Violation> reported_;
+};
+
+}  // namespace ssr::scenario

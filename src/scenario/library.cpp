@@ -1,0 +1,206 @@
+#include "scenario/library.hpp"
+
+namespace ssr::scenario {
+namespace {
+
+using A = Action;
+
+ScenarioSpec bootstrap() {
+  ScenarioSpec s;
+  s.name = "bootstrap";
+  s.description =
+      "5 nodes boot from the all-joiner state, converge to one common "
+      "configuration, then hold it (closure) for a quiet minute";
+  s.initial_nodes = 5;
+  s.phases = {
+      {"converge", {A::await_converged(180 * kSec)}},
+      {"closure", {A::mark_stable(), A::run_for(60 * kSec)}},
+  };
+  return s;
+}
+
+ScenarioSpec rolling_churn() {
+  ScenarioSpec s;
+  s.name = "rolling-churn";
+  s.description =
+      "join one / crash one waves under the aggressive replacement policy; "
+      "the configuration follows the participation through every wave";
+  s.initial_nodes = 4;
+  s.aggressive_policy = true;
+  s.phases = {
+      {"converge", {A::await_converged(180 * kSec)}},
+      {"wave-1",
+       {A::add_nodes(1), A::await_participants({5}, 600 * kSec),
+        A::crash({1}), A::await_config_equals_alive(900 * kSec)}},
+      {"wave-2",
+       {A::add_nodes(1), A::await_participants({6}, 600 * kSec),
+        A::crash({2}), A::await_config_equals_alive(900 * kSec)}},
+  };
+  return s;
+}
+
+ScenarioSpec majority_split() {
+  ScenarioSpec s;
+  s.name = "majority-split";
+  s.description =
+      "a planted configuration conflict (half believe {1,2,3}, half "
+      "{3,4,5}) is detected as stale information and resolved";
+  s.initial_nodes = 5;
+  s.phases = {
+      {"converge", {A::await_converged(180 * kSec)}},
+      {"split", {A::split_config_state({1, 2, 3}, {3, 4, 5})}},
+      {"recover", {A::await_converged(900 * kSec)}},
+  };
+  return s;
+}
+
+ScenarioSpec flood_of_joiners() {
+  ScenarioSpec s;
+  s.name = "flood-of-joiners";
+  s.description =
+      "a 3-node configuration admits 6 simultaneous joiners; joins must "
+      "not move the configuration";
+  s.initial_nodes = 3;
+  s.phases = {
+      {"converge", {A::await_converged(180 * kSec)}},
+      {"flood",
+       {A::add_nodes(6),
+        A::await_participants({4, 5, 6, 7, 8, 9}, 900 * kSec)}},
+      {"settle",
+       {A::await_converged(300 * kSec), A::mark_stable(),
+        A::run_for(60 * kSec)}},
+  };
+  return s;
+}
+
+ScenarioSpec epoch_rollover() {
+  ScenarioSpec s;
+  s.name = "epoch-rollover";
+  s.description =
+      "a planted near-exhausted counter (the classic transient fault of "
+      "section 4.1) is cancelled; increments keep completing in order";
+  s.initial_nodes = 3;
+  s.exhaust_bound = 1ULL << 20;
+  s.phases = {
+      {"converge", {A::await_converged(180 * kSec), A::run_for(30 * kSec)}},
+      {"exhaust",
+       {A::plant_exhausted_counter({2}, (1ULL << 20) + 5),
+        A::run_for(60 * kSec)}},
+      {"workload", {A::increment_burst(2), A::await_converged(300 * kSec)}},
+  };
+  return s;
+}
+
+ScenarioSpec garbage_channel_recovery() {
+  ScenarioSpec s;
+  s.name = "garbage-channel-recovery";
+  s.description =
+      "every channel is stuffed with arbitrary stale packets; decoders "
+      "survive, the token links flush them, and the system re-converges";
+  s.initial_nodes = 4;
+  s.phases = {
+      {"converge", {A::await_converged(180 * kSec)}},
+      {"garbage", {A::garbage_channels(3), A::await_converged(600 * kSec)}},
+      {"closure", {A::mark_stable(), A::run_for(60 * kSec)}},
+  };
+  return s;
+}
+
+ScenarioSpec partition_heal() {
+  ScenarioSpec s;
+  s.name = "partition-heal";
+  s.description =
+      "a minority {1,2} is cut off from the majority {3,4,5}; after the "
+      "heal both sides resolve any divergence into one configuration";
+  s.initial_nodes = 5;
+  s.phases = {
+      {"converge", {A::await_converged(180 * kSec)}},
+      {"partition",
+       {A::split_network({1, 2}, {3, 4, 5}), A::run_for(120 * kSec)}},
+      {"heal", {A::heal_network(), A::await_converged(1800 * kSec)}},
+  };
+  return s;
+}
+
+ScenarioSpec silent_after_convergence() {
+  ScenarioSpec s;
+  s.name = "silent-after-convergence";
+  s.description =
+      "after convergence the system is silent at the config level "
+      "(closure) and, once every node crashes, the event queue drains to "
+      "empty — nothing keeps running";
+  s.initial_nodes = 3;
+  s.phases = {
+      {"converge", {A::await_converged(180 * kSec)}},
+      {"silence", {A::mark_stable(), A::run_for(120 * kSec)}},
+      {"teardown", {A::crash_all(), A::await_quiescent(30 * kSec)}},
+  };
+  return s;
+}
+
+ScenarioSpec transient_blast() {
+  ScenarioSpec s;
+  s.name = "transient-blast";
+  s.description =
+      "the canonical arbitrary starting state: every node's recSA and FD "
+      "state corrupted and every channel garbaged at once; Theorem 3.15 "
+      "convergence from scratch";
+  s.initial_nodes = 4;
+  s.phases = {
+      {"converge", {A::await_converged(180 * kSec)}},
+      {"blast",
+       {A::corrupt_recsa(), A::corrupt_fd(), A::garbage_channels(2)}},
+      {"recover",
+       {A::await_converged(1200 * kSec), A::mark_stable(),
+        A::run_for(60 * kSec)}},
+  };
+  return s;
+}
+
+ScenarioSpec vs_workload() {
+  ScenarioSpec s;
+  s.name = "vs-workload";
+  s.description =
+      "full stack with the virtually synchronous SMR layer: counter "
+      "increments and shared-memory reads/writes while the VS monitor "
+      "checks batch agreement at every (view, round)";
+  s.initial_nodes = 3;
+  s.enable_vs = true;
+  s.phases = {
+      {"converge",
+       {A::await_converged(300 * kSec), A::await_vs_stable(900 * kSec)}},
+      {"workload",
+       {A::mark_stable(), A::increment_burst(2),
+        A::shmem_write({1}, "x", 42), A::shmem_read({2}, "x"),
+        A::run_for(30 * kSec)}},
+      {"stable", {A::await_vs_stable(600 * kSec)}},
+  };
+  return s;
+}
+
+}  // namespace
+
+const std::vector<ScenarioSpec>& library() {
+  static const std::vector<ScenarioSpec> specs = {
+      bootstrap(),
+      rolling_churn(),
+      majority_split(),
+      flood_of_joiners(),
+      epoch_rollover(),
+      garbage_channel_recovery(),
+      partition_heal(),
+      silent_after_convergence(),
+      transient_blast(),
+      vs_workload(),
+  };
+  return specs;
+}
+
+std::optional<ScenarioSpec> find_scenario(const std::string& name) {
+  for (const ScenarioSpec& s : library()) {
+    if (s.name == name) return s;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ssr::scenario

@@ -1,0 +1,368 @@
+#include "scenario/runner.hpp"
+
+#include <sstream>
+
+namespace ssr::scenario {
+namespace {
+
+std::uint64_t digest_ids(const IdSet& ids) {
+  std::uint64_t h = TraceRecorder::kFnvBasis;
+  for (NodeId id : ids) h = TraceRecorder::mix(h, id);
+  return h;
+}
+
+std::uint64_t digest_action(const Action& a) {
+  std::uint64_t h = TraceRecorder::kFnvBasis;
+  h = TraceRecorder::mix(h, digest_ids(a.targets));
+  h = TraceRecorder::mix(h, digest_ids(a.group_b));
+  h = TraceRecorder::mix(h, a.n);
+  h = TraceRecorder::mix(h, a.duration);
+  for (char c : a.reg) h = TraceRecorder::mix(h, static_cast<std::uint8_t>(c));
+  return h;
+}
+
+std::uint64_t digest_name(const std::string& s) {
+  std::uint64_t h = TraceRecorder::kFnvBasis;
+  for (char c : s) h = TraceRecorder::mix(h, static_cast<std::uint8_t>(c));
+  return h;
+}
+
+// Sets the "replace on any suspected member" prediction policy.
+void aggressive_policy(node::Node& n) {
+  n.set_eval_conf([&n](const IdSet& cfg) {
+    return cfg.intersection_size(n.failure_detector().trusted()) < cfg.size();
+  });
+}
+
+}  // namespace
+
+std::string ScenarioResult::summary() const {
+  std::ostringstream os;
+  os << name << " seed=" << seed << " " << (ok ? "OK" : "FAIL")
+     << " events=" << trace_events << " hash=" << std::hex << trace_hash
+     << std::dec << " sim=" << sim_time / kSec << "s";
+  if (!failure.empty()) os << " failure=\"" << failure << "\"";
+  for (const auto& v : violations) {
+    os << "\n  violation[" << v.invariant << "]: " << v.message;
+  }
+  return os.str();
+}
+
+ScenarioRunner::ScenarioRunner(ScenarioSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), seed_(seed) {
+  harness::WorldConfig cfg;
+  cfg.seed = seed;
+  cfg.node.enable_vs = spec_.enable_vs;
+  cfg.channel.corrupt_probability = spec_.corrupt_probability;
+  if (spec_.exhaust_bound != 0) {
+    cfg.node.counter.exhaust_bound = spec_.exhaust_bound;
+  }
+  world_ = std::make_unique<harness::World>(cfg);
+  injector_ =
+      std::make_unique<harness::FaultInjector>(*world_, seed ^ 0xFA417ULL);
+  registry_ = std::make_unique<InvariantRegistry>(*world_);
+  trace_.attach(*world_);
+  for (std::size_t i = 0; i < spec_.initial_nodes; ++i) add_fresh_node();
+}
+
+NodeId ScenarioRunner::add_fresh_node() {
+  const NodeId id = next_id_++;
+  node::Node& n = world_->add_node(id);
+  if (spec_.aggressive_policy) aggressive_policy(n);
+  trace_.attach_node(*world_, id);
+  registry_->attach_node(id);
+  trace_.record(TraceKind::kNodeAdded, id);
+  return id;
+}
+
+void ScenarioRunner::fail(const Action& a, const std::string& detail) {
+  if (failed_) return;
+  failed_ = true;
+  std::ostringstream os;
+  os << to_string(a.kind) << ": " << detail;
+  failure_ = os.str();
+}
+
+IdSet ScenarioRunner::targets_or_alive(const Action& a) const {
+  return a.targets.empty() ? world_->alive() : a.targets;
+}
+
+ScenarioResult ScenarioRunner::run() {
+  for (const Phase& phase : spec_.phases) {
+    if (failed_) break;
+    trace_.record(TraceKind::kPhaseStart, kNoNode, digest_name(phase.name));
+    for (const Action& a : phase.actions) {
+      if (failed_) break;
+      trace_.record(TraceKind::kActionApplied, kNoNode,
+                    static_cast<std::uint64_t>(a.kind), digest_action(a));
+      apply(a);
+    }
+  }
+
+  harvest_increments();
+
+  ScenarioResult r;
+  r.name = spec_.name;
+  r.seed = seed_;
+  r.failure = failure_;
+  r.violations = registry_->check_all();
+  r.ok = !failed_ && r.violations.empty();
+  r.trace_hash = trace_.hash();
+  r.trace_events = trace_.events().size();
+  r.sim_time = world_->scheduler().now();
+  return r;
+}
+
+void ScenarioRunner::apply(const Action& a) {
+  switch (a.kind) {
+    case ActionKind::kAddNodes: {
+      registry_->unmark_stable();
+      for (std::uint64_t i = 0; i < a.n; ++i) add_fresh_node();
+      return;
+    }
+    case ActionKind::kCrash: {
+      registry_->unmark_stable();
+      for (NodeId id : a.targets) {
+        world_->crash(id);
+        trace_.record(TraceKind::kNodeCrashed, id);
+      }
+      return;
+    }
+    case ActionKind::kReboot: {
+      registry_->unmark_stable();
+      // Identifiers are never reused (paper, Section 2): a reboot is a
+      // crash-stop plus a fresh processor taking the slot.
+      for (NodeId id : a.targets) {
+        world_->crash(id);
+        trace_.record(TraceKind::kNodeCrashed, id);
+        add_fresh_node();
+      }
+      return;
+    }
+    case ActionKind::kSplitNetwork:
+      registry_->unmark_stable();
+      world_->network().split(a.targets, a.group_b);
+      return;
+    case ActionKind::kHealNetwork:
+      world_->network().heal();
+      return;
+    case ActionKind::kCorruptRecsa:
+      registry_->unmark_stable();
+      for (NodeId id : targets_or_alive(a)) injector_->corrupt_recsa(id);
+      return;
+    case ActionKind::kCorruptFd:
+      registry_->unmark_stable();
+      for (NodeId id : targets_or_alive(a)) injector_->corrupt_fd(id);
+      return;
+    case ActionKind::kSplitConfigState:
+      registry_->unmark_stable();
+      injector_->split_config(a.targets, a.group_b);
+      return;
+    case ActionKind::kGarbageChannels:
+      registry_->unmark_stable();
+      injector_->fill_channels_with_garbage(a.n);
+      return;
+    case ActionKind::kPlantExhaustedCounter:
+      registry_->unmark_stable();
+      for (NodeId id : a.targets) injector_->plant_exhausted_counter(id, a.n);
+      return;
+    case ActionKind::kPlantRecmaFlags:
+      registry_->unmark_stable();
+      for (NodeId id : a.targets) {
+        injector_->plant_recma_flags(id, (a.n & 1) != 0, (a.n & 2) != 0);
+      }
+      return;
+    case ActionKind::kIncrementBurst:
+      do_increment_burst(a);
+      return;
+    case ActionKind::kShmemWrite:
+      do_shmem(a, /*write=*/true);
+      return;
+    case ActionKind::kShmemRead:
+      do_shmem(a, /*write=*/false);
+      return;
+    case ActionKind::kRunFor:
+      world_->run_for(a.duration);
+      return;
+    case ActionKind::kAwaitConverged: {
+      if (!await(a.duration, [&] { return world_->converged(); })) {
+        fail(a, "no convergence within the time budget");
+        return;
+      }
+      trace_.record(TraceKind::kConverged, kNoNode,
+                    digest_ids(*world_->common_config()));
+      return;
+    }
+    case ActionKind::kAwaitVsStable: {
+      if (!await(a.duration, [&] { return world_->vs_stable(); })) {
+        fail(a, "VS layer did not stabilize");
+        return;
+      }
+      trace_.record(TraceKind::kVsStable, kNoNode);
+      return;
+    }
+    case ActionKind::kAwaitParticipants: {
+      auto all_part = [&] {
+        for (NodeId id : a.targets) {
+          if (!world_->node(id).recsa().is_participant()) return false;
+        }
+        return true;
+      };
+      if (!await(a.duration, all_part)) {
+        fail(a, "targets were not admitted as participants");
+      }
+      return;
+    }
+    case ActionKind::kAwaitConfigEqualsAlive: {
+      auto caught_up = [&] {
+        auto c = world_->common_config();
+        return c && *c == world_->alive();
+      };
+      if (!await(a.duration, caught_up)) {
+        fail(a, "configuration did not catch up with the alive set");
+      }
+      return;
+    }
+    case ActionKind::kMarkStable:
+      registry_->mark_stable();
+      trace_.record(TraceKind::kStableMarked, kNoNode);
+      return;
+    case ActionKind::kCrashAll: {
+      registry_->unmark_stable();
+      for (NodeId id : world_->alive()) {
+        world_->crash(id);
+        trace_.record(TraceKind::kNodeCrashed, id);
+      }
+      return;
+    }
+    case ActionKind::kAwaitQuiescent:
+      do_await_quiescent(a);
+      return;
+  }
+}
+
+void ScenarioRunner::do_increment_burst(const Action& a) {
+  const IdSet clients = targets_or_alive(a);
+  // Sequential ops create real-time-ordered pairs, which is exactly what the
+  // counter-order invariant (Theorem 4.6) constrains.
+  for (NodeId id : clients) {
+    if (!world_->has_node(id) || world_->node(id).crashed()) continue;
+    for (std::uint64_t op = 0; op < a.n; ++op) {
+      auto& client = world_->node(id).increment();
+      bool completed = false;
+      // A begin() can be refused while a previous operation drains, and a
+      // begun operation can abort during reconfigurations — both are legal;
+      // retry a bounded number of times. Each attempt gets fresh state so a
+      // late completion of a timed-out attempt never bleeds into the next.
+      for (int attempt = 0; attempt < 12 && !completed; ++attempt) {
+        if (!await(30 * kSec, [&] { return !client.busy(); })) break;
+        auto st = std::make_shared<PendingIncrement>();
+        st->started = world_->scheduler().now();
+        if (!client.begin([st](std::optional<counter::Counter> c) {
+              st->got = std::move(c);
+              st->done = true;
+            })) {
+          continue;
+        }
+        await(120 * kSec, [&] { return st->done; }, 5 * kMsec);
+        if (st->done && st->got) {
+          registry_->counter_order().record(
+              st->started, world_->scheduler().now(), *st->got);
+          trace_.record(TraceKind::kIncrementDone, id, 1, st->got->seqn);
+          completed = true;
+        } else if (st->done) {
+          trace_.record(TraceKind::kIncrementDone, id, 0, 0);
+        } else {
+          outstanding_.emplace_back(id, st);
+        }
+      }
+    }
+  }
+  harvest_increments();
+}
+
+void ScenarioRunner::harvest_increments() {
+  // Records attempts that completed after their await timed out (possibly
+  // phases later). Observing the finish late only widens the [started,
+  // finished] interval, which can never manufacture a false real-time-
+  // ordered pair. Recorded entries are removed; still-pending ones stay for
+  // the next harvest (every burst, and once more before check_all()).
+  std::erase_if(outstanding_, [&](const auto& entry) {
+    const auto& [id, st] = entry;
+    if (!st->done) return false;
+    if (st->got) {
+      registry_->counter_order().record(st->started,
+                                        world_->scheduler().now(), *st->got);
+      trace_.record(TraceKind::kIncrementDone, id, 1, st->got->seqn);
+    }
+    return true;
+  });
+}
+
+void ScenarioRunner::do_shmem(const Action& a, bool write) {
+  // As with increments: the service stores the callback, and an operation
+  // can outlive this function, so completion state is heap-held and
+  // captured by value.
+  struct OpState {
+    bool done = false;
+    bool ok = false;
+  };
+  for (NodeId id : targets_or_alive(a)) {
+    if (!world_->has_node(id) || world_->node(id).crashed()) continue;
+    auto& svc = world_->node(id).registers();
+    bool succeeded = false;
+    for (int attempt = 0; attempt < 12 && !succeeded; ++attempt) {
+      if (!await(30 * kSec, [&] { return !svc.busy(); })) break;
+      auto st = std::make_shared<OpState>();
+      bool begun;
+      if (write) {
+        wire::Bytes payload;
+        for (int i = 0; i < 8; ++i) {
+          payload.push_back(
+              static_cast<std::uint8_t>((a.n + id) >> (8 * i) & 0xFF));
+        }
+        begun = svc.write(a.reg, std::move(payload),
+                          [st](bool w_ok, counter::Counter) {
+                            st->ok = w_ok;
+                            st->done = true;
+                          });
+      } else {
+        begun = svc.read(a.reg, [st](bool r_ok, const wire::Bytes&,
+                                     counter::Counter) {
+          st->ok = r_ok;
+          st->done = true;
+        });
+      }
+      if (!begun) continue;
+      await(160 * kSec, [&] { return st->done; }, 5 * kMsec);
+      succeeded = st->done && st->ok;
+    }
+    trace_.record(TraceKind::kShmemOpDone, id, succeeded ? 1 : 0,
+                  write ? 1 : 0);
+  }
+}
+
+void ScenarioRunner::do_await_quiescent(const Action& a) {
+  if (!world_->alive().empty()) {
+    registry_->report("silence", false,
+                      "await_quiescent requires every node crashed first");
+    return;
+  }
+  auto& sched = world_->scheduler();
+  const SimTime deadline = sched.now() + a.duration;
+  while (sched.now() < deadline && !sched.empty()) {
+    world_->run_for(10 * kMsec);
+  }
+  const bool drained = sched.empty();
+  registry_->report("silence", drained,
+                    "scheduler still holds live events after every node "
+                    "crashed (silent stabilization violated)");
+  trace_.record(TraceKind::kQuiescent, kNoNode, drained ? 1 : 0);
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed) {
+  ScenarioRunner runner(spec, seed);
+  return runner.run();
+}
+
+}  // namespace ssr::scenario

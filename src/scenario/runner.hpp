@@ -1,0 +1,93 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "harness/fault_injector.hpp"
+#include "harness/world.hpp"
+#include "scenario/invariants.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/trace.hpp"
+
+namespace ssr::scenario {
+
+struct ScenarioResult {
+  std::string name;
+  std::uint64_t seed = 0;
+  /// Every await met its deadline and the invariant registry is clean.
+  bool ok = false;
+  /// First await that missed its deadline (empty when all met).
+  std::string failure;
+  std::uint64_t trace_hash = 0;
+  std::size_t trace_events = 0;
+  SimTime sim_time = 0;
+  std::vector<InvariantRegistry::Violation> violations;
+
+  std::string summary() const;
+};
+
+/// Interprets a ScenarioSpec against a fresh World on the deterministic
+/// scheduler. One (spec, seed) pair names exactly one execution: the same
+/// pair always produces a byte-identical trace (and therefore hash).
+class ScenarioRunner {
+ public:
+  ScenarioRunner(ScenarioSpec spec, std::uint64_t seed);
+
+  /// Runs every phase, then evaluates the invariant registry.
+  ScenarioResult run();
+
+  harness::World& world() { return *world_; }
+  TraceRecorder& trace() { return trace_; }
+  InvariantRegistry& invariants() { return *registry_; }
+
+ private:
+  void apply(const Action& a);
+  NodeId add_fresh_node();
+  void fail(const Action& a, const std::string& detail);
+  IdSet targets_or_alive(const Action& a) const;
+
+  /// Runs until `pred` holds, polling every `step`; true iff met in time.
+  template <class Pred>
+  bool await(SimTime timeout, Pred pred, SimTime step = 20 * kMsec) {
+    const SimTime deadline = world_->scheduler().now() + timeout;
+    while (world_->scheduler().now() < deadline) {
+      if (pred()) return true;
+      world_->run_for(step);
+    }
+    return pred();
+  }
+
+  void do_increment_burst(const Action& a);
+  void do_shmem(const Action& a, bool write);
+  void do_await_quiescent(const Action& a);
+  void harvest_increments();
+
+  /// Completion state of one increment attempt. Heap-held and captured by
+  /// value in the client callback: a quorum operation can outlive the
+  /// action that started it, and its callback must still have somewhere
+  /// safe to write.
+  struct PendingIncrement {
+    SimTime started = 0;
+    bool done = false;
+    std::optional<counter::Counter> got;
+  };
+
+  ScenarioSpec spec_;
+  std::uint64_t seed_;
+  std::unique_ptr<harness::World> world_;
+  std::unique_ptr<harness::FaultInjector> injector_;
+  TraceRecorder trace_;
+  std::unique_ptr<InvariantRegistry> registry_;
+  NodeId next_id_ = 1;
+  bool failed_ = false;
+  std::string failure_;
+  /// Attempts whose await timed out with the operation still in flight;
+  /// re-harvested at every burst and once more before check_all().
+  std::vector<std::pair<NodeId, std::shared_ptr<PendingIncrement>>>
+      outstanding_;
+};
+
+/// Convenience: build, run, and summarize in one call.
+ScenarioResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed);
+
+}  // namespace ssr::scenario

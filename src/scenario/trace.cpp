@@ -1,0 +1,137 @@
+#include "scenario/trace.hpp"
+
+#include <sstream>
+
+#include "harness/world.hpp"
+
+namespace ssr::scenario {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t digest_config(const reconf::ConfigValue& c) {
+  std::uint64_t h = TraceRecorder::kFnvBasis;
+  h = TraceRecorder::mix(h, static_cast<std::uint64_t>(c.tag()));
+  if (c.is_set()) {
+    for (NodeId id : c.ids()) h = TraceRecorder::mix(h, id);
+  }
+  return h;
+}
+
+std::uint64_t digest_view(const vs::View& v) {
+  std::uint64_t h = TraceRecorder::kFnvBasis;
+  h = TraceRecorder::mix(h, v.id.seqn);
+  h = TraceRecorder::mix(h, v.id.wid);
+  for (NodeId id : v.set) h = TraceRecorder::mix(h, id);
+  return h;
+}
+
+std::uint64_t digest_batch(
+    const std::vector<std::pair<NodeId, wire::Bytes>>& msgs) {
+  std::uint64_t h = TraceRecorder::kFnvBasis;
+  for (const auto& [id, m] : msgs) {
+    h = TraceRecorder::mix(h, id);
+    for (std::uint8_t byte : m) h = TraceRecorder::mix(h, byte);
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* to_string(TraceKind k) {
+  switch (k) {
+    case TraceKind::kPhaseStart: return "phase";
+    case TraceKind::kActionApplied: return "action";
+    case TraceKind::kNodeAdded: return "node_added";
+    case TraceKind::kNodeCrashed: return "node_crashed";
+    case TraceKind::kConfigChange: return "config_change";
+    case TraceKind::kViewInstall: return "view_install";
+    case TraceKind::kVsDeliver: return "vs_deliver";
+    case TraceKind::kIncrementDone: return "increment_done";
+    case TraceKind::kShmemOpDone: return "shmem_op_done";
+    case TraceKind::kConverged: return "converged";
+    case TraceKind::kVsStable: return "vs_stable";
+    case TraceKind::kStableMarked: return "stable_marked";
+    case TraceKind::kQuiescent: return "quiescent";
+  }
+  return "unknown";
+}
+
+std::uint64_t TraceRecorder::mix(std::uint64_t h, std::uint64_t x) {
+  // Word-wise FNV-1a: eight rounds keep the full 64 bits of `x` in play.
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ ((x >> (8 * i)) & 0xFF)) * kFnvPrime;
+  }
+  return h;
+}
+
+void TraceRecorder::attach(harness::World& world) {
+  world_ = &world;
+  for (NodeId id : world.all_ids()) attach_node(world, id);
+}
+
+void TraceRecorder::attach_node(harness::World& world, NodeId id) {
+  world_ = &world;
+  auto& n = world.node(id);
+  n.recsa().add_config_change_handler(
+      [this, id](const reconf::ConfigValue& c) {
+        record(TraceKind::kConfigChange, id, digest_config(c));
+      });
+  if (auto* v = n.vs()) {
+    v->add_view_install_handler([this, id](const vs::View& view) {
+      record(TraceKind::kViewInstall, id, digest_view(view));
+    });
+    v->add_deliver_handler(
+        [this, id](const vs::View& view, std::uint64_t rnd,
+                   const std::vector<std::pair<NodeId, wire::Bytes>>& msgs) {
+          std::uint64_t key = mix(digest_view(view), rnd);
+          record(TraceKind::kVsDeliver, id, key, digest_batch(msgs));
+        });
+  }
+}
+
+void TraceRecorder::record(TraceKind kind, NodeId node, std::uint64_t a,
+                           std::uint64_t b) {
+  TraceEvent ev;
+  ev.when = world_ ? world_->scheduler().now() : 0;
+  ev.node = node;
+  ev.kind = kind;
+  ev.a = a;
+  ev.b = b;
+  events_.push_back(ev);
+}
+
+std::uint64_t TraceRecorder::hash() const {
+  std::uint64_t h = kFnvBasis;
+  for (const TraceEvent& e : events_) {
+    h = mix(h, e.when);
+    h = mix(h, e.node);
+    h = mix(h, static_cast<std::uint64_t>(e.kind));
+    h = mix(h, e.a);
+    h = mix(h, e.b);
+  }
+  return h;
+}
+
+std::string TraceRecorder::dump(std::size_t max_lines) const {
+  std::ostringstream os;
+  std::size_t n = events_.size();
+  if (max_lines != 0 && max_lines < n) n = max_lines;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEvent& e = events_[i];
+    os << e.when / kMsec << "ms\t";
+    if (e.node == kNoNode) {
+      os << "-";
+    } else {
+      os << "n" << e.node;
+    }
+    os << "\t" << to_string(e.kind) << "\t" << std::hex << e.a << "\t" << e.b
+       << std::dec << "\n";
+  }
+  if (n < events_.size()) {
+    os << "... (" << events_.size() - n << " more)\n";
+  }
+  return os.str();
+}
+
+}  // namespace ssr::scenario

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ssr::harness {
+class World;
+}
+
+namespace ssr::scenario {
+
+/// Canonical event kinds recorded by every scenario run. The stream is the
+/// ground truth the invariant registry and the replay tests reason about:
+/// two runs are "the same execution" iff their streams hash identically.
+enum class TraceKind : std::uint8_t {
+  kPhaseStart = 1,   ///< a = FNV hash of the phase name
+  kActionApplied,    ///< node = kNoNode, a = ActionKind, b = param digest
+  kNodeAdded,
+  kNodeCrashed,
+  kConfigChange,     ///< a = digest of the new ConfigValue
+  kViewInstall,      ///< a = digest of the installed view
+  kVsDeliver,        ///< a = (view id, rnd) digest, b = batch digest
+  kIncrementDone,    ///< a = 1 completed / 0 aborted, b = counter seqn
+  kShmemOpDone,      ///< a = 1 ok / 0 aborted, b = read(0)/write(1)
+  kConverged,        ///< a = digest of the common configuration
+  kVsStable,
+  kStableMarked,
+  kQuiescent,        ///< a = 1 drained / 0 still busy at budget
+};
+
+const char* to_string(TraceKind k);
+
+struct TraceEvent {
+  SimTime when = 0;
+  NodeId node = kNoNode;
+  TraceKind kind = TraceKind::kPhaseStart;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// Records the canonical event stream of one run and folds it into a stable
+/// 64-bit hash (FNV-1a over the packed event fields). Attach before any
+/// traffic flows; explicit events (actions, convergence points) are pushed
+/// by the runner via record().
+class TraceRecorder {
+ public:
+  void attach(harness::World& world);
+  void attach_node(harness::World& world, NodeId id);
+
+  void record(TraceKind kind, NodeId node, std::uint64_t a = 0,
+              std::uint64_t b = 0);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::uint64_t hash() const;
+
+  /// Human-readable dump of up to `max_lines` events (0 = all).
+  std::string dump(std::size_t max_lines = 0) const;
+
+  /// FNV-1a over an arbitrary byte-less word sequence — exposed so callers
+  /// digest configs/views consistently with the recorder itself.
+  static std::uint64_t mix(std::uint64_t h, std::uint64_t x);
+  static constexpr std::uint64_t kFnvBasis = 1469598103934665603ULL;
+
+ private:
+  harness::World* world_ = nullptr;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace ssr::scenario

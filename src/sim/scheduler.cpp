@@ -37,6 +37,13 @@ bool Scheduler::step(SimTime deadline) {
   return false;
 }
 
+void Scheduler::drop_tombstones() const {
+  // Popping the cancelled prefix is sufficient for an exact emptiness test:
+  // if the new top is live the queue is non-empty regardless of tombstones
+  // buried behind it.
+  while (!queue_.empty() && !*queue_.top().alive) queue_.pop();
+}
+
 std::uint64_t Scheduler::run_until(SimTime deadline) {
   std::uint64_t n = 0;
   while (step(deadline)) ++n;

@@ -52,8 +52,13 @@ class Scheduler {
   /// Executes exactly one event if any is pending before `deadline`.
   bool step(SimTime deadline);
 
-  /// True when no events remain (cancelled events may linger until drained).
-  bool empty() const { return queue_.empty(); }
+  /// True when no *live* events remain. Cancelled (tombstoned) events are
+  /// lazily dropped from the front of the queue so quiescence detection is
+  /// exact: a queue holding only tombstones is empty.
+  bool empty() const {
+    drop_tombstones();
+    return queue_.empty();
+  }
   std::uint64_t events_executed() const { return executed_; }
 
  private:
@@ -70,10 +75,12 @@ class Scheduler {
     }
   };
 
+  void drop_tombstones() const;
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  mutable std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 
 }  // namespace ssr::sim

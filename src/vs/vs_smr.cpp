@@ -316,6 +316,7 @@ void VsSmr::coordinator_step(const IdSet& part) {
       mine_.suspend = false;
       reconf_ready_ = false;
       ++stats_.views_installed;
+      for (const auto& fn : on_view_install_) fn(mine_.view);
       emit_round(mine_.view, 0, mine_.msgs);
       auto next = fetch_();
       mine_.input = next ? std::move(*next) : wire::Bytes{};
@@ -337,6 +338,9 @@ void VsSmr::follower_step() {
       if (!differs) return;
       // state[i] ← state[ℓ]: the coordinator's snapshot is post-apply, so
       // adoption replaces rather than re-applies (no double delivery).
+      if (!(st->view == mine_.view)) {
+        for (const auto& fn : on_view_install_) fn(st->view);
+      }
       mine_.view = st->view;
       mine_.status = st->status;
       mine_.rnd = st->rnd;
@@ -392,7 +396,7 @@ void VsSmr::emit_round(const View& v, std::uint64_t rnd,
   applied_any_ = true;
   applied_view_id_ = v.id;
   applied_rnd_ = rnd;
-  if (deliver_) deliver_(v, rnd, m);
+  for (const auto& fn : deliver_) fn(v, rnd, m);
 }
 
 bool VsSmr::need_delicate_reconf() const {

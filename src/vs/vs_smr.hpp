@@ -89,7 +89,13 @@ class VsSmr {
   StateMachine& state_machine() { return *sm_; }
   const VsStats& stats() const { return stats_; }
 
-  void set_deliver_handler(DeliverFn fn) { deliver_ = std::move(fn); }
+  /// Listeners accumulate — monitors and trace recorders observe
+  /// independently.
+  void add_deliver_handler(DeliverFn fn) { deliver_.push_back(std::move(fn)); }
+  /// Fired once per installed view (after state synchronization).
+  void add_view_install_handler(std::function<void(const View&)> fn) {
+    on_view_install_.push_back(std::move(fn));
+  }
 
  private:
   struct SeenCrd {
@@ -127,7 +133,8 @@ class VsSmr {
   std::uint64_t applied_rnd_ = 0;
   bool applied_any_ = false;
 
-  DeliverFn deliver_;
+  std::vector<DeliverFn> deliver_;
+  std::vector<std::function<void(const View&)>> on_view_install_;
   VsStats stats_;
 };
 

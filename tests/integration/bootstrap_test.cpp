@@ -2,6 +2,8 @@
 
 #include "harness/monitors.hpp"
 #include "harness/world.hpp"
+#include "scenario/library.hpp"
+#include "scenario/runner.hpp"
 
 namespace ssr::harness {
 namespace {
@@ -36,20 +38,15 @@ TEST(Bootstrap, SingleNodeBootstraps) {
 }
 
 // Closure (Theorem 3.16): once converged, a long execution without crashes
-// or explicit requests never changes the configuration.
+// or explicit requests never changes the configuration. Migrated onto the
+// scenario engine: the library's `bootstrap` scenario converges, marks the
+// stabilization point and lets the closure invariant watch the quiet window.
 TEST(Bootstrap, ClosureNoSpuriousReconfigurations) {
-  WorldConfig cfg;
-  cfg.seed = 13;
-  World w(cfg);
-  for (NodeId id = 1; id <= 4; ++id) w.add_node(id);
-  ASSERT_TRUE(w.run_until_converged(120 * kSec).has_value());
-
-  ConfigHistoryMonitor monitor;
-  monitor.attach(w);
-  const SimTime start = w.scheduler().now();
-  w.run_for(120 * kSec);
-  EXPECT_EQ(monitor.events_since(start), 0u);
-  EXPECT_TRUE(w.converged());
+  auto spec = scenario::find_scenario("bootstrap");
+  ASSERT_TRUE(spec.has_value());
+  const scenario::ScenarioResult r = scenario::run_scenario(*spec, 13);
+  EXPECT_TRUE(r.ok) << r.summary();
+  EXPECT_TRUE(r.violations.empty()) << r.summary();
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include "harness/fault_injector.hpp"
 #include "harness/monitors.hpp"
 #include "harness/world.hpp"
+#include "scenario/runner.hpp"
 
 namespace ssr::harness {
 namespace {
@@ -104,19 +105,28 @@ TEST(Churn, TotalConfigurationLossRecoversFromJoiners) {
 
 // Transient faults during churn: corruption is injected mid-wave and the
 // system still reaches a conflict-free configuration of the survivors.
+// Migrated onto the scenario engine — the same shape as the hand-rolled
+// original, expressed declaratively and checked by the invariant registry.
 TEST(Churn, CorruptionDuringChurnStillConverges) {
-  World w(fast_config(207));
-  for (NodeId id = 1; id <= 5; ++id) w.add_node(id);
-  ASSERT_TRUE(w.run_until_converged(180 * kSec).has_value());
-  FaultInjector fi(w, 2070);
-  w.add_node(6);
-  w.run_for(30 * kSec);  // mid-join
-  fi.corrupt_all_recsa();
-  fi.fill_channels_with_garbage(2);
-  w.crash(2);
-  auto t = w.run_until_converged(1200 * kSec);
-  ASSERT_TRUE(t.has_value());
+  using scenario::Action;
+  scenario::ScenarioSpec spec;
+  spec.name = "corruption-during-churn";
+  spec.initial_nodes = 5;
+  spec.phases = {
+      {"converge", {Action::await_converged(180 * kSec)}},
+      {"storm",
+       {Action::add_nodes(1),              // node 6 joins...
+        Action::run_for(30 * kSec),        // ...and mid-join:
+        Action::corrupt_recsa(),           // every recSA corrupted,
+        Action::garbage_channels(2),       // channels stuffed,
+        Action::crash({2})}},              // one member dies.
+      {"recover", {Action::await_converged(1200 * kSec)}},
+  };
+  scenario::ScenarioRunner runner(spec, 207);
+  const scenario::ScenarioResult r = runner.run();
+  EXPECT_TRUE(r.ok) << r.summary();
   // Everyone alive ends as a participant of one configuration.
+  World& w = runner.world();
   EXPECT_EQ(*w.common_config(), w.alive());
 }
 

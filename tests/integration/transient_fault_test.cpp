@@ -3,6 +3,7 @@
 #include "harness/fault_injector.hpp"
 #include "harness/monitors.hpp"
 #include "harness/world.hpp"
+#include "scenario/runner.hpp"
 
 namespace ssr::harness {
 namespace {
@@ -93,16 +94,23 @@ TEST(TransientFault, PlantedExhaustedCounterRecovers) {
 }
 
 // The closure half of the main theorem at full stack: a healthy system with
-// VS enabled shows zero configuration events over a long window.
+// VS enabled shows zero configuration events over a long window. Migrated
+// onto the scenario engine; the closure invariant plays the monitor's role
+// and the VS monitor rides along for free.
 TEST(TransientFault, FullStackClosure) {
-  World w(stack_config(409, true));
-  for (NodeId id = 1; id <= 3; ++id) w.add_node(id);
-  ASSERT_TRUE(w.run_until_converged(300 * kSec).has_value());
-  ASSERT_TRUE(w.run_until_vs_stable(900 * kSec).has_value());
-  ConfigHistoryMonitor monitor;
-  monitor.attach(w);
-  w.run_for(240 * kSec);
-  EXPECT_EQ(monitor.events().size(), 0u);
+  using scenario::Action;
+  scenario::ScenarioSpec spec;
+  spec.name = "full-stack-closure";
+  spec.initial_nodes = 3;
+  spec.enable_vs = true;
+  spec.phases = {
+      {"converge",
+       {Action::await_converged(300 * kSec),
+        Action::await_vs_stable(900 * kSec)}},
+      {"closure", {Action::mark_stable(), Action::run_for(240 * kSec)}},
+  };
+  const scenario::ScenarioResult r = scenario::run_scenario(spec, 409);
+  EXPECT_TRUE(r.ok) << r.summary();
 }
 
 }  // namespace

@@ -67,6 +67,37 @@ TEST(Network, LoopbackDelivers) {
   EXPECT_EQ(delivered, 1u);
 }
 
+TEST(Network, SplitBlocksCrossTrafficUntilHealed) {
+  Fixture f;
+  std::size_t at1 = 0, at3 = 0;
+  f.net.attach(1, [&](const Packet&) { ++at1; });
+  f.net.attach(3, [&](const Packet&) { ++at3; });
+  f.net.split({1, 2}, {3, 4});
+  EXPECT_TRUE(f.net.blocked(1, 3));
+  EXPECT_TRUE(f.net.blocked(3, 1));
+  EXPECT_FALSE(f.net.blocked(1, 2));
+  f.net.send(1, 3, wire::Bytes{1});
+  f.net.send(3, 1, wire::Bytes{2});
+  f.sched.run_until(kSec);
+  EXPECT_EQ(at1, 0u);
+  EXPECT_EQ(at3, 0u);
+  EXPECT_EQ(f.net.packets_blocked(), 2u);
+  f.net.heal();
+  f.net.send(1, 3, wire::Bytes{3});
+  f.sched.run_until(2 * kSec);
+  EXPECT_EQ(at3, 1u);
+}
+
+TEST(Network, InFlightPacketsSurviveAPartitionCut) {
+  Fixture f;
+  std::size_t delivered = 0;
+  f.net.attach(2, [&](const Packet&) { ++delivered; });
+  f.net.send(1, 2, wire::Bytes{1});  // leaves before the cut
+  f.net.split({1}, {2});
+  f.sched.run_until(kSec);
+  EXPECT_EQ(delivered, 1u);  // the fabric does not destroy departed traffic
+}
+
 TEST(Network, ForEachChannelVisitsAll) {
   Fixture f;
   f.net.send(1, 2, {});

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "scenario/library.hpp"
+#include "scenario/runner.hpp"
+
+namespace ssr::scenario {
+namespace {
+
+TEST(ScenarioLibrary, HasAtLeastEightScenarios) {
+  EXPECT_GE(library().size(), 8u);
+  for (const ScenarioSpec& s : library()) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_FALSE(s.phases.empty()) << s.name;
+    EXPECT_TRUE(find_scenario(s.name).has_value()) << s.name;
+  }
+}
+
+TEST(ScenarioLibrary, NamesAreUnique) {
+  const auto& specs = library();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    for (std::size_t j = i + 1; j < specs.size(); ++j) {
+      EXPECT_NE(specs[i].name, specs[j].name);
+    }
+  }
+}
+
+// Every library scenario runs clean: awaits met, zero invariant violations.
+// Parameterized over library() itself so a newly added scenario is covered
+// automatically.
+class RunsClean : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RunsClean, ZeroViolations) {
+  auto spec = find_scenario(GetParam());
+  ASSERT_TRUE(spec.has_value()) << GetParam();
+  const ScenarioResult r = run_scenario(*spec, 7);
+  EXPECT_TRUE(r.ok) << r.summary();
+  EXPECT_TRUE(r.violations.empty()) << r.summary();
+  EXPECT_TRUE(r.failure.empty()) << r.summary();
+  EXPECT_GT(r.trace_events, 0u);
+}
+
+std::vector<std::string> library_names() {
+  std::vector<std::string> out;
+  for (const ScenarioSpec& s : library()) out.push_back(s.name);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Library, RunsClean,
+                         ::testing::ValuesIn(library_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& ch : n) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace ssr::scenario

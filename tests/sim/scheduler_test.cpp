@@ -84,6 +84,33 @@ TEST(Scheduler, StepExecutesOneEvent) {
   EXPECT_FALSE(s.step(100));
 }
 
+// Quiescence detection must see through tombstones: a queue holding only
+// cancelled events is empty (the silence invariant of the scenario engine
+// relies on this after crashing every node).
+TEST(Scheduler, EmptyIgnoresTombstonedEvents) {
+  Scheduler s;
+  EXPECT_TRUE(s.empty());
+  auto a = s.schedule_at(10, [] {});
+  auto b = s.schedule_at(20, [] {});
+  EXPECT_FALSE(s.empty());
+  a.cancel();
+  b.cancel();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.events_executed(), 0u);
+}
+
+TEST(Scheduler, EmptyFalseWhileLiveEventBehindTombstones) {
+  Scheduler s;
+  auto a = s.schedule_at(5, [] {});
+  int fired = 0;
+  s.schedule_at(30, [&] { ++fired; });
+  a.cancel();
+  EXPECT_FALSE(s.empty());  // the live event at 30 still counts
+  s.run_until(100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.empty());
+}
+
 TEST(Scheduler, HandleOutlivingSchedulerEventIsSafe) {
   Scheduler s;
   Scheduler::Handle h;
