@@ -2,13 +2,43 @@
 // deterministic scheduler and reports virtual-time-to-completion plus the
 // trace volume. This is the migration target for ad-hoc bench scripts: a
 // new execution shape is a ScenarioSpec, not another hand-rolled driver.
+//
+// On exit the accumulated per-scenario metrics are written to
+// BENCH_scenarios.json in the working directory (events/sec, packet
+// counts) so CI and regression tooling can diff runs without scraping
+// benchmark text output.
+//
+// The BM_WriterFieldAppend pair quantifies the wire::Writer::reserve()
+// pre-allocation used on the hot encode paths (frames, bundles, UDP
+// envelopes): Arg(0) grows the buffer per field, Arg(1) reserves once.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "dlink/token_link.hpp"
 #include "scenario/library.hpp"
 #include "scenario/runner.hpp"
 
 namespace ssr::bench {
 namespace {
+
+struct ScenarioAgg {
+  int iterations = 0;
+  double wall_ms = 0;
+  double sim_ms = 0;
+  double trace_events = 0;
+  double sched_events = 0;
+  double packets_sent = 0;
+  double packets_delivered = 0;
+};
+
+std::map<std::string, ScenarioAgg>& metrics() {
+  static std::map<std::string, ScenarioAgg> m;
+  return m;
+}
 
 void run_named(benchmark::State& state, const char* name) {
   auto spec = scenario::find_scenario(name);
@@ -16,21 +46,71 @@ void run_named(benchmark::State& state, const char* name) {
     state.SkipWithError("unknown scenario");
     return;
   }
-  double sim_ms = 0;
-  double events = 0;
+  // Per-invocation accumulator for the reported counters; the static map
+  // only feeds write_json (it outlives repetitions, so dividing it by this
+  // invocation's iteration count would inflate repeated runs).
+  ScenarioAgg local;
   std::uint64_t seed = 9000;
   for (auto _ : state) {
+    const auto wall_start = std::chrono::steady_clock::now();
     const scenario::ScenarioResult r = scenario::run_scenario(*spec, seed++);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
     if (!r.ok) {
       state.SkipWithError(r.summary().c_str());
       return;
     }
-    sim_ms += static_cast<double>(r.sim_time) / kMsec;
-    events += static_cast<double>(r.trace_events);
+    ++local.iterations;
+    local.wall_ms += wall_ms;
+    local.sim_ms += static_cast<double>(r.sim_time) / kMsec;
+    local.trace_events += static_cast<double>(r.trace_events);
+    local.sched_events += static_cast<double>(r.sched_events);
+    local.packets_sent += static_cast<double>(r.packets_sent);
+    local.packets_delivered += static_cast<double>(r.packets_delivered);
   }
+  ScenarioAgg& agg = metrics()[name];
+  agg.iterations += local.iterations;
+  agg.wall_ms += local.wall_ms;
+  agg.sim_ms += local.sim_ms;
+  agg.trace_events += local.trace_events;
+  agg.sched_events += local.sched_events;
+  agg.packets_sent += local.packets_sent;
+  agg.packets_delivered += local.packets_delivered;
   const double it = static_cast<double>(state.iterations());
-  state.counters["sim_ms"] = benchmark::Counter(sim_ms / it);
-  state.counters["trace_events"] = benchmark::Counter(events / it);
+  state.counters["sim_ms"] = benchmark::Counter(local.sim_ms / it);
+  state.counters["trace_events"] = benchmark::Counter(local.trace_events / it);
+  state.counters["events_per_sec"] = benchmark::Counter(
+      local.wall_ms > 0 ? local.sched_events / (local.wall_ms / 1e3) : 0);
+  state.counters["packets_sent"] = benchmark::Counter(local.packets_sent / it);
+}
+
+void write_json(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) return;
+  std::fprintf(f, "{\n  \"benchmark\": \"scenarios\",\n  \"scenarios\": [\n");
+  bool first = true;
+  for (const auto& [name, a] : metrics()) {
+    if (a.iterations == 0) continue;
+    const double it = a.iterations;
+    const double events_per_sec =
+        a.wall_ms > 0 ? a.sched_events / (a.wall_ms / 1e3) : 0;
+    std::fprintf(f,
+                 "%s    {\"name\": \"%s\", \"iterations\": %d, "
+                 "\"wall_ms\": %.3f, \"sim_ms\": %.3f, "
+                 "\"trace_events\": %.1f, \"sched_events\": %.1f, "
+                 "\"events_per_sec\": %.1f, "
+                 "\"packets_sent\": %.1f, \"packets_delivered\": %.1f}",
+                 first ? "" : ",\n", name.c_str(), a.iterations,
+                 a.wall_ms / it, a.sim_ms / it, a.trace_events / it,
+                 a.sched_events / it, events_per_sec, a.packets_sent / it,
+                 a.packets_delivered / it);
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
 }
 
 void BM_ScenarioBootstrap(benchmark::State& state) {
@@ -57,7 +137,59 @@ BENCHMARK(BM_ScenarioPartitionHeal)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
+// --- Wire encode micro-benches ----------------------------------------------
+
+/// The per-field append pattern of every protocol encoder; Arg(1) adds the
+/// single up-front reserve() the hot paths now use.
+void BM_WriterFieldAppend(benchmark::State& state) {
+  const bool reserve = state.range(0) != 0;
+  const wire::Bytes blob(24, 0xAB);  // a typical state-slot payload
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    wire::Writer w;
+    if (reserve) w.reserve(16 * (1 + 4 + 4 + blob.size()));
+    for (int i = 0; i < 16; ++i) {
+      w.u8(static_cast<std::uint8_t>(i));
+      w.u32(static_cast<std::uint32_t>(i));
+      w.bytes(blob);
+    }
+    bytes += w.data().size();
+    benchmark::DoNotOptimize(w.data().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_WriterFieldAppend)->Arg(0)->Arg(1);
+
+/// End-to-end frame encode (bundle of state slots inside a data frame) —
+/// the hottest serialization path: every token retransmission runs it.
+void BM_FrameEncodeBundle(benchmark::State& state) {
+  std::vector<dlink::BundleItem> items;
+  for (std::uint8_t p = 0; p < 6; ++p) {
+    items.push_back(dlink::BundleItem{p, true, wire::Bytes(32, p)});
+  }
+  dlink::Frame f;
+  f.kind = dlink::FrameKind::kData;
+  f.link_sender = 1;
+  f.label = 3;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    f.payload = dlink::encode_bundle(items);
+    const wire::Bytes raw = f.encode();
+    bytes += raw.size();
+    benchmark::DoNotOptimize(raw.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_FrameEncodeBundle);
+
 }  // namespace
 }  // namespace ssr::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  ssr::bench::write_json("BENCH_scenarios.json");
+  return 0;
+}

@@ -4,15 +4,15 @@
 
 namespace ssr::dlink {
 
-LinkMux::LinkMux(net::Network& net, NodeId self, MuxConfig cfg, Rng rng)
-    : net_(net), self_(self), cfg_(cfg), rng_(rng) {}
+LinkMux::LinkMux(net::Transport& transport, NodeId self, MuxConfig cfg, Rng rng)
+    : transport_(transport), self_(self), cfg_(cfg), rng_(rng) {}
 
 LinkMux::PeerState& LinkMux::ensure_peer(NodeId peer) {
   auto it = peers_.find(peer);
   if (it != peers_.end()) return it->second;
   auto& ps = peers_[peer];
   ps.link = std::make_unique<TokenLink>(
-      net_, net_.scheduler(), rng_.fork(), cfg_.link, self_, peer,
+      transport_, rng_.fork(), cfg_.link, self_, peer,
       /*compose=*/[this, peer]() { return compose(peer); },
       /*deliver=*/
       [this, peer](const wire::Bytes& bundle) { deliver_bundle(peer, bundle); },

@@ -35,7 +35,7 @@ class LinkMux {
   using DeliverFn = std::function<void(NodeId from, const wire::Bytes& data)>;
   using HeartbeatFn = std::function<void(NodeId peer)>;
 
-  LinkMux(net::Network& net, NodeId self, MuxConfig cfg, Rng rng);
+  LinkMux(net::Transport& transport, NodeId self, MuxConfig cfg, Rng rng);
   ~LinkMux() { shutdown(); }
 
   LinkMux(const LinkMux&) = delete;
@@ -65,7 +65,7 @@ class LinkMux {
   void subscribe(Port port, DeliverFn fn);
   void set_heartbeat_handler(HeartbeatFn fn) { heartbeat_ = std::move(fn); }
 
-  /// Entry point wired to the Network.
+  /// Entry point wired to the Transport.
   void handle_packet(const net::Packet& pkt);
 
   IdSet peers() const;
@@ -82,7 +82,7 @@ class LinkMux {
   void deliver_bundle(NodeId peer, const wire::Bytes& bundle);
   PeerState& ensure_peer(NodeId peer);
 
-  net::Network& net_;
+  net::Transport& transport_;
   NodeId self_;
   MuxConfig cfg_;
   Rng rng_;

@@ -9,6 +9,7 @@ namespace ssr::dlink {
 
 wire::Bytes Frame::encode() const {
   wire::Writer w;
+  w.reserve(1 + 4 + 1 + 4 + payload.size());
   w.u8(static_cast<std::uint8_t>(kind));
   w.node_id(link_sender);
   w.u8(label);
@@ -31,6 +32,9 @@ std::optional<Frame> Frame::decode(const wire::Bytes& raw) {
 
 wire::Bytes encode_bundle(const std::vector<BundleItem>& items) {
   wire::Writer w;
+  std::size_t total = 1;
+  for (const auto& item : items) total += 1 + 1 + 4 + item.data.size();
+  w.reserve(total);
   w.u8(static_cast<std::uint8_t>(items.size()));
   for (const auto& item : items) {
     w.u8(item.port);
@@ -57,12 +61,10 @@ std::optional<std::vector<BundleItem>> decode_bundle(const wire::Bytes& raw) {
   return items;
 }
 
-TokenLink::TokenLink(net::Network& net, sim::Scheduler& sched, Rng rng,
-                     LinkConfig cfg, NodeId self, NodeId peer,
-                     ComposeFn compose, DeliverFn deliver,
-                     HeartbeatFn heartbeat)
-    : net_(net),
-      sched_(sched),
+TokenLink::TokenLink(net::Transport& transport, Rng rng, LinkConfig cfg,
+                     NodeId self, NodeId peer, ComposeFn compose,
+                     DeliverFn deliver, HeartbeatFn heartbeat)
+    : transport_(transport),
       rng_(rng),
       cfg_(cfg),
       self_(self),
@@ -94,8 +96,8 @@ void TokenLink::arm_timer() {
   timer_.cancel();
   // Small jitter keeps links from lock-stepping in the simulation.
   const SimTime jitter = rng_.next_below(cfg_.retransmit_period / 4 + 1);
-  timer_ = sched_.schedule_after(cfg_.retransmit_period + jitter,
-                                 [this]() { on_timer(); });
+  timer_ = transport_.schedule_after(cfg_.retransmit_period + jitter,
+                                     [this]() { on_timer(); });
 }
 
 void TokenLink::on_timer() {
@@ -115,7 +117,7 @@ void TokenLink::transmit_current() {
     f.label = tx_label_;
     f.payload = tx_payload_;
   }
-  net_.send(self_, peer_, f.encode());
+  transport_.send(self_, peer_, f.encode());
 }
 
 void TokenLink::begin_round() {
@@ -142,7 +144,7 @@ void TokenLink::handle_frame(const Frame& frame) {
       ack.kind = FrameKind::kAck;
       ack.link_sender = peer_;  // names the link, i.e. its sender
       ack.label = frame.label;
-      net_.send(self_, peer_, ack.encode());
+      transport_.send(self_, peer_, ack.encode());
       const bool seen =
           std::find(rx_recent_.begin(), rx_recent_.end(), frame.label) !=
           rx_recent_.end();
@@ -189,7 +191,7 @@ void TokenLink::handle_frame(const Frame& frame) {
       ack.kind = FrameKind::kCleanAck;
       ack.link_sender = peer_;
       ack.label = frame.label;
-      net_.send(self_, peer_, ack.encode());
+      transport_.send(self_, peer_, ack.encode());
       return;
     }
     case FrameKind::kCleanAck: {

@@ -5,8 +5,7 @@
 #include <functional>
 
 #include "dlink/frame.hpp"
-#include "net/network.hpp"
-#include "sim/scheduler.hpp"
+#include "net/transport.hpp"
 #include "util/rng.hpp"
 
 namespace ssr::dlink {
@@ -47,8 +46,8 @@ class TokenLink {
   /// Called on token progress (fresh data received / round completed).
   using HeartbeatFn = std::function<void()>;
 
-  TokenLink(net::Network& net, sim::Scheduler& sched, Rng rng, LinkConfig cfg,
-            NodeId self, NodeId peer, ComposeFn compose, DeliverFn deliver,
+  TokenLink(net::Transport& transport, Rng rng, LinkConfig cfg, NodeId self,
+            NodeId peer, ComposeFn compose, DeliverFn deliver,
             HeartbeatFn heartbeat);
   ~TokenLink() { shutdown(); }
 
@@ -80,8 +79,7 @@ class TokenLink {
   void transmit_current();
   void begin_round();
 
-  net::Network& net_;
-  sim::Scheduler& sched_;
+  net::Transport& transport_;
   Rng rng_;
   LinkConfig cfg_;
   NodeId self_;
@@ -107,7 +105,7 @@ class TokenLink {
   std::size_t rx_clean_count_ = 0;
   bool down_ = false;
 
-  sim::Scheduler::Handle timer_;
+  net::TimerHandle timer_;
   Stats stats_;
 };
 

@@ -5,11 +5,14 @@
 namespace ssr::harness {
 
 World::World(WorldConfig cfg)
-    : cfg_(cfg), rng_(cfg.seed), net_(sched_, Rng(cfg.seed ^ 0xC0FFEE), cfg.channel) {}
+    : cfg_(cfg),
+      rng_(cfg.seed),
+      net_(sched_, Rng(cfg.seed ^ 0xC0FFEE), cfg.channel),
+      transport_(net_) {}
 
 node::Node& World::add_stopped_node(NodeId id) {
   SSR_ASSERT(!nodes_.count(id), "node id reused — identifiers are unique");
-  auto n = std::make_unique<node::Node>(net_, id, cfg_.node, rng_.fork());
+  auto n = std::make_unique<node::Node>(transport_, id, cfg_.node, rng_.fork());
   auto& ref = *n;
   nodes_[id] = std::move(n);
   return ref;

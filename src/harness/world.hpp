@@ -4,6 +4,7 @@
 #include <memory>
 #include <optional>
 
+#include "net/sim_transport.hpp"
 #include "node/node.hpp"
 
 namespace ssr::harness {
@@ -22,9 +23,11 @@ struct WorldConfig {
   }
 };
 
-/// Simulation world: scheduler + network + a set of full protocol nodes.
-/// This is the entry point used by the examples, the integration tests and
-/// every bench scenario.
+/// Simulation world: scheduler + network + a SimTransport over them + a set
+/// of full protocol nodes. This is the entry point used by the examples,
+/// the integration tests and every bench scenario. Nodes see only the
+/// net::Transport seam; the underlying fabric stays available for fault
+/// injection and channel inspection.
 class World {
  public:
   explicit World(WorldConfig cfg);
@@ -45,6 +48,7 @@ class World {
 
   sim::Scheduler& scheduler() { return sched_; }
   net::Network& network() { return net_; }
+  net::Transport& transport() { return transport_; }
   const WorldConfig& config() const { return cfg_; }
   Rng& rng() { return rng_; }
 
@@ -73,6 +77,7 @@ class World {
   Rng rng_;
   sim::Scheduler sched_;
   net::Network net_;
+  net::SimTransport transport_;
   std::map<NodeId, std::unique_ptr<node::Node>> nodes_;
 };
 

@@ -8,6 +8,7 @@
 
 #include "net/channel.hpp"
 #include "sim/scheduler.hpp"
+#include "util/assert.hpp"
 #include "util/id_set.hpp"
 #include "util/rng.hpp"
 
@@ -25,8 +26,15 @@ class Network {
   Network(sim::Scheduler& sched, Rng rng, ChannelConfig cfg)
       : sched_(sched), rng_(rng), cfg_(cfg) {}
 
-  /// Registers (or replaces) a node's packet handler.
-  void attach(NodeId id, Handler handler) { handlers_[id] = std::move(handler); }
+  /// Registers a node's packet handler. Attaching over a live handler is a
+  /// programming error — it would silently splice a second incarnation into
+  /// the fabric; crash (detach) the old node first. Identifiers are never
+  /// reused (paper, Section 2).
+  void attach(NodeId id, Handler handler) {
+    SSR_ASSERT(handlers_.count(id) == 0,
+               "re-attach of a live node — detach the old incarnation first");
+    handlers_[id] = std::move(handler);
+  }
   /// Detaches a node: models a crash; its inbound packets are dropped.
   void detach(NodeId id) { handlers_.erase(id); }
   bool attached(NodeId id) const { return handlers_.count(id) != 0; }

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "net/network.hpp"
+#include "net/transport.hpp"
+
+namespace ssr::net {
+
+/// Transport over the simulated fabric: delegates packet movement to the
+/// Network (bounded lossy channels, partitions) and timers to the
+/// deterministic scheduler. A pure pass-through — wrapping a stack in a
+/// SimTransport instead of handing it the Network directly changes neither
+/// the RNG draw order nor the event order, so scenario traces (and their
+/// replay hashes) are byte-identical to the pre-abstraction fabric.
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(Network& net) : net_(net) {}
+
+  void attach(NodeId id, Handler handler) override {
+    net_.attach(id, std::move(handler));
+  }
+  void detach(NodeId id) override { net_.detach(id); }
+  bool attached(NodeId id) const override { return net_.attached(id); }
+
+  void send(NodeId src, NodeId dst, wire::Bytes payload) override {
+    net_.send(src, dst, std::move(payload));
+  }
+
+  SimTime now() const override { return net_.scheduler().now(); }
+  TimerHandle schedule_after(SimTime delay, TimerFn fn) override {
+    return TimerHandle(
+        net_.scheduler().schedule_after(delay, std::move(fn)).token());
+  }
+
+  /// The wrapped fabric, for fault injection and channel inspection.
+  Network& network() { return net_; }
+
+ private:
+  Network& net_;
+};
+
+}  // namespace ssr::net

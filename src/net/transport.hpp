@@ -1,0 +1,71 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/packet.hpp"
+#include "util/types.hpp"
+
+namespace ssr::net {
+
+/// Cancelable handle for a transport timer. Cancellation is O(1) and
+/// idempotent: the shared liveness token is flipped and the transport skips
+/// the event when it comes due (the same tombstone scheme as
+/// sim::Scheduler::Handle, so simulated timers carry no extra bookkeeping).
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+  explicit TimerHandle(std::weak_ptr<bool> alive) : alive_(std::move(alive)) {}
+
+  void cancel() const {
+    if (auto p = alive_.lock()) *p = false;
+  }
+  bool pending() const {
+    auto p = alive_.lock();
+    return p && *p;
+  }
+
+ private:
+  std::weak_ptr<bool> alive_;
+};
+
+/// Message-passing fabric under the node stack.
+///
+/// The paper's algorithms are specified over asynchronous links with no
+/// timing assumptions (Section 2): all a processor needs is (a) a way to
+/// send a bounded packet toward a named peer, (b) delivery of inbound
+/// packets, and (c) a local periodic-timer service whose rate the
+/// algorithms never rely on for correctness. This interface captures
+/// exactly that, so the same stack runs over the deterministic simulated
+/// fabric (SimTransport) and over real UDP sockets (UdpTransport).
+class Transport {
+ public:
+  using Handler = std::function<void(const Packet&)>;
+  using TimerFn = std::function<void()>;
+
+  virtual ~Transport() = default;
+
+  /// Registers the packet handler of a local node. Attaching an id that is
+  /// already attached is a programming error (crash/detach the previous
+  /// incarnation first — identifiers are never reused, paper Section 2).
+  virtual void attach(NodeId id, Handler handler) = 0;
+  /// Detaches a node: models a crash; its inbound packets are dropped.
+  virtual void detach(NodeId id) = 0;
+  virtual bool attached(NodeId id) const = 0;
+
+  /// Sends a payload toward `dst`. Sends are fire-and-forget and may be
+  /// silently lost, reordered or duplicated; the data-link layer above
+  /// assumes only fair communication (a packet sent infinitely often is
+  /// received infinitely often).
+  virtual void send(NodeId src, NodeId dst, wire::Bytes payload) = 0;
+
+  // -- Clock service ---------------------------------------------------------
+  // Virtual microseconds under the simulator, wall-clock microseconds since
+  // transport start over real sockets. Algorithms use this only to pace
+  // their do-forever loops, never for correctness.
+
+  virtual SimTime now() const = 0;
+  virtual TimerHandle schedule_after(SimTime delay, TimerFn fn) = 0;
+};
+
+}  // namespace ssr::net

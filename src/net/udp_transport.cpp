@@ -1,0 +1,226 @@
+#include "net/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "wire/wire.hpp"
+
+namespace ssr::net {
+namespace {
+
+std::uint64_t steady_usec() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::vector<std::uint8_t> resolve(const UdpEndpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  SSR_ASSERT(::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) == 1,
+             "UdpEndpoint.host must be a numeric IPv4 address");
+  std::vector<std::uint8_t> raw(sizeof(addr));
+  std::memcpy(raw.data(), &addr, sizeof(addr));
+  return raw;
+}
+
+}  // namespace
+
+wire::Bytes UdpTransport::encode_envelope(NodeId src, NodeId dst,
+                                          const wire::Bytes& payload) {
+  wire::Writer w;
+  w.reserve(4 + 1 + 4 + 4 + 4 + payload.size());
+  w.u32(kMagic);
+  w.u8(kVersion);
+  w.node_id(src);
+  w.node_id(dst);
+  w.bytes(payload);
+  return w.take();
+}
+
+std::optional<Packet> UdpTransport::decode_envelope(const std::uint8_t* data,
+                                                    std::size_t len) {
+  // Parsed by hand over the receive buffer: going through wire::Reader
+  // would copy the whole datagram once for the Reader and once more for
+  // the payload slice — on the hot receive path the payload copy is the
+  // only one allowed.
+  constexpr std::size_t kHeader = 4 + 1 + 4 + 4 + 4;
+  const auto rd_u32 = [data](std::size_t off) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data[off + i]) << (8 * i);
+    }
+    return v;
+  };
+  if (len < kHeader) return std::nullopt;
+  if (rd_u32(0) != kMagic) return std::nullopt;
+  if (data[4] != kVersion) return std::nullopt;
+  Packet pkt;
+  pkt.src = rd_u32(5);
+  pkt.dst = rd_u32(9);
+  // Strict framing: the length prefix must name exactly the bytes present
+  // (truncated or padded datagrams are corruption, not messages).
+  if (rd_u32(13) != len - kHeader) return std::nullopt;
+  pkt.payload.assign(data + kHeader, data + len);
+  return pkt;
+}
+
+UdpTransport::UdpTransport(UdpTransportConfig cfg) : cfg_(std::move(cfg)) {
+  SSR_ASSERT(cfg_.peers.count(cfg_.self) != 0,
+             "UdpTransportConfig.peers must contain the self endpoint");
+  epoch_usec_ = steady_usec();
+  rx_buf_.resize(cfg_.max_datagram);
+
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  SSR_ASSERT(fd_ >= 0, "socket(AF_INET, SOCK_DGRAM) failed");
+
+  sockaddr_in bind_addr{};
+  bind_addr.sin_family = AF_INET;
+  bind_addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  bind_addr.sin_port = htons(cfg_.peers.at(cfg_.self).port);
+  SSR_ASSERT(::bind(fd_, reinterpret_cast<sockaddr*>(&bind_addr),
+                    sizeof(bind_addr)) == 0,
+             "bind failed — port already in use?");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  local_port_ = ntohs(bound.sin_port);
+
+  for (const auto& [id, ep] : cfg_.peers) {
+    if (ep.port != 0) addrs_[id] = resolve(ep);
+  }
+  // Self always resolves to the actually bound port (covers port 0).
+  UdpEndpoint self_ep = cfg_.peers.at(cfg_.self);
+  self_ep.port = local_port_;
+  addrs_[cfg_.self] = resolve(self_ep);
+}
+
+UdpTransport::~UdpTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void UdpTransport::set_peer(NodeId id, const UdpEndpoint& ep) {
+  addrs_[id] = resolve(ep);
+}
+
+void UdpTransport::attach(NodeId id, Handler handler) {
+  SSR_ASSERT(handlers_.count(id) == 0,
+             "re-attach of a live node — detach the old incarnation first");
+  handlers_[id] = std::move(handler);
+}
+
+void UdpTransport::send(NodeId src, NodeId dst, wire::Bytes payload) {
+  auto it = addrs_.find(dst);
+  if (it == addrs_.end()) {
+    // No route — indistinguishable from a crashed destination; the
+    // retransmitting link layer handles it like any other loss.
+    ++stats_.send_failures;
+    return;
+  }
+  const wire::Bytes datagram = encode_envelope(src, dst, payload);
+  const ssize_t n = ::sendto(
+      fd_, datagram.data(), datagram.size(), 0,
+      reinterpret_cast<const sockaddr*>(it->second.data()),
+      static_cast<socklen_t>(it->second.size()));
+  if (n == static_cast<ssize_t>(datagram.size())) {
+    ++stats_.sent;
+  } else {
+    ++stats_.send_failures;  // EAGAIN/ENOBUFS — UDP is lossy anyway
+  }
+}
+
+SimTime UdpTransport::now() const { return steady_usec() - epoch_usec_; }
+
+TimerHandle UdpTransport::schedule_after(SimTime delay, TimerFn fn) {
+  TimerEvent ev;
+  ev.when = now() + delay;
+  ev.seq = next_seq_++;
+  ev.fn = std::move(fn);
+  ev.alive = std::make_shared<bool>(true);
+  TimerHandle handle{std::weak_ptr<bool>(ev.alive)};
+  timers_.push(std::move(ev));
+  return handle;
+}
+
+SimTime UdpTransport::wait_budget(SimTime fallback) {
+  // Skim cancelled timers off the top so a dead timer never shortens the
+  // poll sleep (and the queue cannot fill with tombstones).
+  while (!timers_.empty() && !*timers_.top().alive) timers_.pop();
+  if (timers_.empty()) return fallback;
+  const SimTime t = now();
+  const SimTime due = timers_.top().when;
+  return std::min(fallback, due > t ? due - t : 0);
+}
+
+bool UdpTransport::poll_once(SimTime max_wait) {
+  const SimTime wait = wait_budget(max_wait);
+  pollfd pfd{fd_, POLLIN, 0};
+  const int timeout_ms = static_cast<int>((wait + 999) / 1000);
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  bool activity = false;
+  if (rc > 0 && (pfd.revents & POLLIN) != 0) activity |= drain_socket();
+  activity |= fire_due_timers();
+  return activity;
+}
+
+void UdpTransport::run_for(SimTime duration) {
+  const SimTime deadline = now() + duration;
+  while (now() < deadline) poll_once(deadline - now());
+}
+
+bool UdpTransport::drain_socket() {
+  bool any = false;
+  for (;;) {
+    const ssize_t n = ::recvfrom(fd_, rx_buf_.data(), rx_buf_.size(), 0,
+                                 nullptr, nullptr);
+    if (n < 0) break;  // EAGAIN — drained (other errors: drop and retry next poll)
+    any = true;
+    auto pkt = decode_envelope(rx_buf_.data(), static_cast<std::size_t>(n));
+    if (!pkt) {
+      ++stats_.dropped_malformed;
+      continue;
+    }
+    auto h = handlers_.find(pkt->dst);
+    if (h == handlers_.end()) {
+      ++stats_.dropped_unattached;
+      continue;
+    }
+    ++stats_.received;
+    h->second(*pkt);
+  }
+  return any;
+}
+
+bool UdpTransport::fire_due_timers() {
+  bool any = false;
+  while (!timers_.empty()) {
+    const TimerEvent& top = timers_.top();
+    if (!*top.alive) {
+      timers_.pop();
+      continue;
+    }
+    if (top.when > now()) break;
+    TimerFn fn = std::move(const_cast<TimerEvent&>(top).fn);
+    *top.alive = false;
+    timers_.pop();
+    ++stats_.timers_fired;
+    any = true;
+    fn();
+  }
+  return any;
+}
+
+}  // namespace ssr::net

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace ssr::net {
+
+/// Numeric IPv4 address of one node's UDP socket.
+struct UdpEndpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = let the OS pick (tests); read local_port()
+};
+
+struct UdpTransportConfig {
+  /// The node this transport serves; its entry in `peers` is the bind
+  /// address. Must be present in `peers`.
+  NodeId self = kNoNode;
+  /// Static address book: node id → where its datagrams go. Entries can be
+  /// added or rebound later with set_peer() (e.g. after peers bound port 0).
+  std::map<NodeId, UdpEndpoint> peers;
+  /// Receive buffer size; datagrams longer than this are truncated by the
+  /// socket and then dropped as malformed.
+  std::size_t max_datagram = 64 * 1024;
+};
+
+/// Transport over non-blocking UDP sockets with a poll-based event loop and
+/// wall-clock timers — the same node stack that runs on the simulated
+/// fabric runs over this on localhost or a real network.
+///
+/// Every datagram carries a small versioned envelope (magic, version, src,
+/// dst, payload) around the existing bounded wire format. Decoding is
+/// garbage-tolerant: a corrupted or truncated datagram is counted and
+/// dropped, never delivered and never fatal — exactly the channel fault
+/// model the protocol stack is built to survive.
+///
+/// Threading: single-threaded by design, like the simulator. The owner
+/// drives the loop with run_for()/poll_once(); handlers and timers fire on
+/// the driving thread.
+class UdpTransport final : public Transport {
+ public:
+  explicit UdpTransport(UdpTransportConfig cfg);
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  // -- Transport interface ---------------------------------------------------
+  void attach(NodeId id, Handler handler) override;
+  void detach(NodeId id) override { handlers_.erase(id); }
+  bool attached(NodeId id) const override { return handlers_.count(id) != 0; }
+  void send(NodeId src, NodeId dst, wire::Bytes payload) override;
+  /// Wall-clock microseconds since the transport was created.
+  SimTime now() const override;
+  TimerHandle schedule_after(SimTime delay, TimerFn fn) override;
+
+  // -- Event loop ------------------------------------------------------------
+  /// One poll round: sleeps until a datagram arrives, the next timer is due
+  /// or `max_wait` elapses; then drains the socket and fires due timers.
+  /// Returns true when any packet or timer was processed.
+  bool poll_once(SimTime max_wait);
+  /// Drives the loop for `duration` of wall time.
+  void run_for(SimTime duration);
+
+  // -- Address book ----------------------------------------------------------
+  /// Adds or rebinds a peer address (late binding for port-0 test setups).
+  void set_peer(NodeId id, const UdpEndpoint& ep);
+  /// The actually bound local port (resolves port 0 at construction).
+  std::uint16_t local_port() const { return local_port_; }
+
+  struct Stats {
+    std::uint64_t sent = 0;
+    std::uint64_t send_failures = 0;  // full socket buffer etc. — lossy-link
+    std::uint64_t received = 0;
+    std::uint64_t dropped_malformed = 0;  // bad magic/version/encoding
+    std::uint64_t dropped_unattached = 0;  // well-formed, but no such node
+    std::uint64_t timers_fired = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // -- Envelope codec (exposed for tests and tooling) ------------------------
+  static constexpr std::uint32_t kMagic = 0x55525353;  // "SSRU" little-endian
+  static constexpr std::uint8_t kVersion = 1;
+  static wire::Bytes encode_envelope(NodeId src, NodeId dst,
+                                     const wire::Bytes& payload);
+  static std::optional<Packet> decode_envelope(const std::uint8_t* data,
+                                               std::size_t len);
+
+ private:
+  struct TimerEvent {
+    SimTime when = 0;
+    std::uint64_t seq = 0;  // FIFO tie-break at equal deadlines
+    TimerFn fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const TimerEvent& a, const TimerEvent& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool drain_socket();
+  bool fire_due_timers();
+  /// Wall time until the next live timer, or `fallback` with none pending.
+  SimTime wait_budget(SimTime fallback);
+
+  UdpTransportConfig cfg_;
+  int fd_ = -1;
+  std::uint16_t local_port_ = 0;
+  std::uint64_t epoch_usec_ = 0;  // steady-clock origin
+  std::map<NodeId, Handler> handlers_;
+  std::map<NodeId, std::vector<std::uint8_t>> addrs_;  // resolved sockaddr_in
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<TimerEvent, std::vector<TimerEvent>, Later> timers_;
+  std::vector<std::uint8_t> rx_buf_;
+  Stats stats_;
+};
+
+}  // namespace ssr::net

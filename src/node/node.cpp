@@ -10,12 +10,12 @@ reconf::RecMA::EvalConf quarter_failed_policy(const fd::ThetaFD& fd) {
   };
 }
 
-Node::Node(net::Network& net, NodeId id, NodeConfig cfg, Rng rng)
-    : net_(net),
+Node::Node(net::Transport& transport, NodeId id, NodeConfig cfg, Rng rng)
+    : transport_(transport),
       id_(id),
       cfg_(cfg),
       rng_(rng),
-      mux_(net, id, cfg.mux, rng_.fork()),
+      mux_(transport, id, cfg.mux, rng_.fork()),
       fd_(id, cfg.fd),
       recsa_(mux_, id, [this] { return fd_.trusted(); }, cfg.recsa),
       recma_(mux_, recsa_, id,
@@ -69,7 +69,7 @@ void Node::set_fetch(vs::VsSmr::FetchFn fn) { fetch_ = std::move(fn); }
 void Node::start(const IdSet& seed_peers) {
   if (started_ || crashed_) return;
   started_ = true;
-  net_.attach(id_, [this](const net::Packet& pkt) {
+  transport_.attach(id_, [this](const net::Packet& pkt) {
     if (!crashed_) mux_.handle_packet(pkt);
   });
   for (NodeId peer : seed_peers) {
@@ -83,13 +83,13 @@ void Node::crash() {
   crashed_ = true;
   timer_.cancel();
   mux_.shutdown();
-  net_.detach(id_);
+  if (started_) transport_.detach(id_);
 }
 
 void Node::arm_timer() {
   const SimTime jitter = rng_.next_below(cfg_.tick_period / 4 + 1);
-  timer_ = net_.scheduler().schedule_after(cfg_.tick_period + jitter,
-                                           [this] { tick(); });
+  timer_ = transport_.schedule_after(cfg_.tick_period + jitter,
+                                     [this] { tick(); });
 }
 
 void Node::tick() {

@@ -33,12 +33,14 @@ struct NodeConfig {
 /// least a quarter of the configuration members are no longer trusted.
 reconf::RecMA::EvalConf quarter_failed_policy(const fd::ThetaFD& fd);
 
-/// One simulated processor running the full protocol stack of Fig. 1:
+/// One processor running the full protocol stack of Fig. 1:
 /// token links + (N,Θ)-FD + recSA + recMA + joining + labeling + counters +
-/// virtually synchronous SMR + shared-memory registers.
+/// virtually synchronous SMR + shared-memory registers. The stack depends
+/// only on net::Transport, so the same node runs over the simulated fabric
+/// (harness::World) and over real UDP sockets (tools/ssr_node).
 class Node {
  public:
-  Node(net::Network& net, NodeId id, NodeConfig cfg, Rng rng);
+  Node(net::Transport& transport, NodeId id, NodeConfig cfg, Rng rng);
   ~Node();
 
   Node(const Node&) = delete;
@@ -78,7 +80,7 @@ class Node {
   void tick();
   void arm_timer();
 
-  net::Network& net_;
+  net::Transport& transport_;
   NodeId id_;
   NodeConfig cfg_;
   Rng rng_;
@@ -102,7 +104,7 @@ class Node {
 
   bool started_ = false;
   bool crashed_ = false;
-  sim::Scheduler::Handle timer_;
+  net::TimerHandle timer_;
 };
 
 }  // namespace ssr::node

@@ -110,6 +110,12 @@ ScenarioResult ScenarioRunner::run() {
   r.trace_hash = trace_.hash();
   r.trace_events = trace_.events().size();
   r.sim_time = world_->scheduler().now();
+  r.sched_events = world_->scheduler().events_executed();
+  world_->network().for_each_channel(
+      [&r](NodeId, NodeId, net::Channel& ch) {
+        r.packets_sent += ch.stats().sent;
+        r.packets_delivered += ch.stats().delivered;
+      });
   return r;
 }
 

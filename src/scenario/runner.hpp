@@ -21,6 +21,12 @@ struct ScenarioResult {
   std::uint64_t trace_hash = 0;
   std::size_t trace_events = 0;
   SimTime sim_time = 0;
+  /// Scheduler events executed during the run — the unit bench_scenarios
+  /// reports as events/sec.
+  std::uint64_t sched_events = 0;
+  /// Fabric totals summed over every channel at the end of the run.
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
   std::vector<InvariantRegistry::Violation> violations;
 
   std::string summary() const;

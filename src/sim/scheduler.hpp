@@ -30,6 +30,10 @@ class Scheduler {
       auto p = alive_.lock();
       return p && *p;
     }
+    /// Liveness token, shared with the scheduled event. Transports wrap it
+    /// in their own handle type so cancelling through either sets the same
+    /// tombstone (and quiescence detection stays exact).
+    std::weak_ptr<bool> token() const { return alive_; }
 
    private:
     friend class Scheduler;

@@ -18,6 +18,11 @@ using Bytes = std::vector<std::uint8_t>;
 /// fault injection exercises the same decode paths as real corruption.
 class Writer {
  public:
+  /// Pre-allocates room for `n` more bytes. Hot encoders (frames, bundles,
+  /// transport envelopes) know their size up front; reserving once replaces
+  /// the per-field geometric growth of the output vector.
+  void reserve(std::size_t n) { out_.reserve(out_.size() + n); }
+
   void u8(std::uint8_t v);
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);

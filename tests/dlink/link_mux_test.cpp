@@ -2,22 +2,25 @@
 
 #include <gtest/gtest.h>
 
+#include "net/sim_transport.hpp"
+
 namespace ssr::dlink {
 namespace {
 
 struct MuxPair {
   sim::Scheduler sched;
   net::Network net;
+  net::SimTransport transport;
   MuxConfig cfg;
   std::unique_ptr<LinkMux> a, b;
 
-  MuxPair() : net(sched, Rng(31), channel_config()) {
+  MuxPair() : net(sched, Rng(31), channel_config()), transport(net) {
     cfg.link.ack_threshold = 2 * channel_config().capacity + 1;
     cfg.link.clean_threshold = 2 * channel_config().capacity + 1;
-    a = std::make_unique<LinkMux>(net, 1, cfg, Rng(41));
-    b = std::make_unique<LinkMux>(net, 2, cfg, Rng(42));
-    net.attach(1, [this](const net::Packet& p) { a->handle_packet(p); });
-    net.attach(2, [this](const net::Packet& p) { b->handle_packet(p); });
+    a = std::make_unique<LinkMux>(transport, 1, cfg, Rng(41));
+    b = std::make_unique<LinkMux>(transport, 2, cfg, Rng(42));
+    transport.attach(1, [this](const net::Packet& p) { a->handle_packet(p); });
+    transport.attach(2, [this](const net::Packet& p) { b->handle_packet(p); });
   }
 
   static net::ChannelConfig channel_config() {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "dlink/link_mux.hpp"
+#include "net/sim_transport.hpp"
 
 namespace ssr::dlink {
 namespace {
@@ -25,14 +26,15 @@ TEST_P(LinkProperty, InOrderGapFreeDelivery) {
   ch.loss_probability = param.loss;
   ch.duplicate_probability = param.dup;
   net::Network net(sched, Rng(param.seed), ch);
+  net::SimTransport transport(net);
   MuxConfig cfg;
   cfg.link.ack_threshold = 2 * param.capacity + 1;
   cfg.link.clean_threshold = 2 * param.capacity + 1;
   cfg.datagram_queue_capacity = 64;
-  LinkMux a(net, 1, cfg, Rng(param.seed + 1));
-  LinkMux b(net, 2, cfg, Rng(param.seed + 2));
-  net.attach(1, [&](const net::Packet& p) { a.handle_packet(p); });
-  net.attach(2, [&](const net::Packet& p) { b.handle_packet(p); });
+  LinkMux a(transport, 1, cfg, Rng(param.seed + 1));
+  LinkMux b(transport, 2, cfg, Rng(param.seed + 2));
+  transport.attach(1, [&](const net::Packet& p) { a.handle_packet(p); });
+  transport.attach(2, [&](const net::Packet& p) { b.handle_packet(p); });
 
   std::vector<std::uint8_t> got;
   b.subscribe(kPortCounter, [&](NodeId, const wire::Bytes& d) {

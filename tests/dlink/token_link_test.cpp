@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "net/sim_transport.hpp"
+
 namespace ssr::dlink {
 namespace {
 
@@ -60,6 +62,7 @@ TEST(Bundle, TrailingGarbageRejected) {
 struct LinkPair {
   sim::Scheduler sched;
   net::Network net;
+  net::SimTransport transport;
   LinkConfig cfg;
   std::vector<wire::Bytes> a_outbox, b_outbox;  // next payloads to send
   std::vector<wire::Bytes> a_got, b_got;
@@ -67,20 +70,20 @@ struct LinkPair {
   std::unique_ptr<TokenLink> a, b;
 
   explicit LinkPair(net::ChannelConfig ch = make_channel(), LinkConfig lc = {})
-      : net(sched, Rng(7), ch), cfg(lc) {
+      : net(sched, Rng(7), ch), transport(net), cfg(lc) {
     cfg.ack_threshold = 2 * ch.capacity + 1;
     cfg.clean_threshold = 2 * ch.capacity + 1;
     a = std::make_unique<TokenLink>(
-        net, sched, Rng(1), cfg, 1, 2, [this] { return pop(a_outbox); },
+        transport, Rng(1), cfg, 1, 2, [this] { return pop(a_outbox); },
         [this](const wire::Bytes& d) { a_got_push(d); }, [this] { ++a_beats; });
     b = std::make_unique<TokenLink>(
-        net, sched, Rng(2), cfg, 2, 1, [this] { return pop(b_outbox); },
+        transport, Rng(2), cfg, 2, 1, [this] { return pop(b_outbox); },
         [this](const wire::Bytes& d) { b_got_push(d); }, [this] { ++b_beats; });
-    net.attach(1, [this](const net::Packet& p) {
+    transport.attach(1, [this](const net::Packet& p) {
       auto f = Frame::decode(p.payload);
       if (f) a->handle_frame(*f);
     });
-    net.attach(2, [this](const net::Packet& p) {
+    transport.attach(2, [this](const net::Packet& p) {
       auto f = Frame::decode(p.payload);
       if (f) b->handle_frame(*f);
     });

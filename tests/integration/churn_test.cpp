@@ -124,10 +124,12 @@ TEST(Churn, CorruptionDuringChurnStillConverges) {
   };
   scenario::ScenarioRunner runner(spec, 207);
   const scenario::ScenarioResult r = runner.run();
-  EXPECT_TRUE(r.ok) << r.summary();
+  ASSERT_TRUE(r.ok) << r.summary();
   // Everyone alive ends as a participant of one configuration.
   World& w = runner.world();
-  EXPECT_EQ(*w.common_config(), w.alive());
+  const auto common = w.common_config();
+  ASSERT_TRUE(common.has_value());
+  EXPECT_EQ(*common, w.alive());
 }
 
 // Long random soak: random joins, crashes and corruptions; after the storm

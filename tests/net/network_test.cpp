@@ -35,6 +35,35 @@ TEST(Network, DetachedDestinationDropsSilently) {
   SUCCEED();
 }
 
+TEST(Network, ReattachOfLiveNodeAborts) {
+  // A silent handler replacement would splice a second incarnation of a
+  // node into the fabric; the old handler (and whatever owned it) would
+  // keep dangling. Re-attach is a programming error — detach first.
+  Fixture f;
+  f.net.attach(1, [](const Packet&) {});
+  EXPECT_DEATH(f.net.attach(1, [](const Packet&) {}), "re-attach");
+  f.net.detach(1);
+  f.net.attach(1, [](const Packet&) {});  // detach → attach stays legal
+  SUCCEED();
+}
+
+TEST(Network, DetachWithPacketsInFlightDropsThemSilently) {
+  Fixture f;
+  std::size_t delivered = 0;
+  f.net.attach(2, [&](const Packet&) { ++delivered; });
+  for (int i = 0; i < 5; ++i) f.net.send(1, 2, wire::Bytes{1});
+  ASSERT_EQ(f.net.channel(1, 2).in_flight(), 5u);
+  f.net.detach(2);  // crash with traffic still in the channel
+  f.sched.run_until(kSec);
+  // The channel drains its events; none reach the crashed destination.
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(f.net.channel(1, 2).in_flight(), 0u);
+  // A fresh incarnation attaching later must not receive the stale burst.
+  f.net.attach(2, [&](const Packet&) { ++delivered; });
+  f.sched.run_until(2 * kSec);
+  EXPECT_EQ(delivered, 0u);
+}
+
 TEST(Network, DetachModelsCrash) {
   Fixture f;
   std::size_t delivered = 0;

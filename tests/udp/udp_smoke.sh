@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Multi-process UDP smoke: launch 3 ssr_node daemons on localhost, wait for
+# every one to report the common configuration {1,2,3} and for node 1 to
+# complete a counter increment, then tear everything down.
+#
+#   udp_smoke.sh <path-to-ssr_node> [timeout-seconds]
+set -u
+
+BIN="${1:?usage: udp_smoke.sh <ssr_node binary> [timeout-seconds]}"
+TIMEOUT="${2:-90}"
+DIR="$(mktemp -d)"
+PIDS=()
+
+cleanup() {
+  if [ "${#PIDS[@]}" -gt 0 ]; then
+    kill "${PIDS[@]}" 2>/dev/null
+    wait "${PIDS[@]}" 2>/dev/null
+  fi
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+# A PID- and RANDOM-derived base port keeps concurrent CI runs apart;
+# capped below 32768 to stay out of the Linux ephemeral port range.
+BASE=$((10000 + ($$ * 13 + RANDOM) % 22000))
+{
+  echo "1 127.0.0.1 $BASE"
+  echo "2 127.0.0.1 $((BASE + 1))"
+  echo "3 127.0.0.1 $((BASE + 2))"
+} > "$DIR/peers.txt"
+
+for id in 1 2 3; do
+  inc=0
+  [ "$id" -eq 1 ] && inc=1
+  "$BIN" --id "$id" --peers "$DIR/peers.txt" --seconds "$TIMEOUT" \
+    --increments "$inc" > "$DIR/n$id.log" 2>&1 &
+  PIDS+=("$!")
+done
+
+deadline=$((SECONDS + TIMEOUT))
+while [ "$SECONDS" -lt "$deadline" ]; do
+  if grep -q "^SSR_NODE_DONE$" "$DIR/n1.log" 2>/dev/null \
+     && grep -q "^SSR_NODE_DONE$" "$DIR/n2.log" 2>/dev/null \
+     && grep -q "^SSR_NODE_DONE$" "$DIR/n3.log" 2>/dev/null \
+     && grep -q "^INCREMENT_OK" "$DIR/n1.log"; then
+    echo "udp_smoke: OK ($(grep -h ^CONVERGED "$DIR"/n*.log | tr '\n' ' '))"
+    exit 0
+  fi
+  # Bail out early if a daemon died (port clash, assertion, ...).
+  for pid in "${PIDS[@]}"; do
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "udp_smoke: FAIL — a node exited early"
+      tail -n 25 "$DIR"/n*.log
+      exit 1
+    fi
+  done
+  sleep 1
+done
+
+echo "udp_smoke: FAIL — goals not reached within ${TIMEOUT}s"
+tail -n 25 "$DIR"/n*.log
+exit 1

@@ -1,0 +1,224 @@
+// ssr_node — one full-stack protocol node over real UDP sockets.
+//
+//   ssr_node --id N --peers FILE [--seconds S] [--increments K]
+//            [--tick-us T] [--retransmit-us T] [--ack-threshold A] [--vs]
+//
+// FILE holds one "id host port" triple per line ('#' starts a comment);
+// the entry matching --id is the local bind address. The daemon boots the
+// node against every other entry and prints progress markers to stdout:
+//
+//   CONVERGED t=2.1s config={1,2,3}     noReco + the common proper config
+//   INCREMENT_OK seqn=4                 one counter increment completed
+//   SSR_NODE_DONE                       all goals met (stays up for peers)
+//
+// Exit status: 0 when the goals (convergence, plus --increments completed
+// operations) were met — whether the deadline ran out or SIGTERM/SIGINT
+// arrived first — and 3 when they were not.
+//
+// This is the real-deployment counterpart of harness::World: the identical
+// node stack, parameterized only by the transport underneath it.
+
+#include <arpa/inet.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "net/udp_transport.hpp"
+#include "node/node.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+struct Options {
+  ssr::NodeId id = ssr::kNoNode;
+  std::string peers_file;
+  std::uint64_t seconds = 60;
+  std::uint64_t increments = 0;
+  std::uint64_t tick_us = 5000;
+  std::uint64_t retransmit_us = 2000;
+  std::size_t ack_threshold = 3;
+  bool enable_vs = false;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ssr_node --id N --peers FILE [--seconds S=60]\n"
+               "                [--increments K=0] [--tick-us T=5000]\n"
+               "                [--retransmit-us T=2000] [--ack-threshold A=3]"
+               " [--vs]\n");
+  return 2;
+}
+
+std::string format_ids(const ssr::IdSet& ids) {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (ssr::NodeId id : ids) {
+    if (!first) os << ',';
+    os << id;
+    first = false;
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ssr;
+
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--id" && i + 1 < argc) {
+      opt.id = static_cast<NodeId>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--peers" && i + 1 < argc) {
+      opt.peers_file = argv[++i];
+    } else if (arg == "--seconds" && i + 1 < argc) {
+      opt.seconds = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--increments" && i + 1 < argc) {
+      opt.increments = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--tick-us" && i + 1 < argc) {
+      opt.tick_us = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--retransmit-us" && i + 1 < argc) {
+      opt.retransmit_us = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--ack-threshold" && i + 1 < argc) {
+      opt.ack_threshold = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--vs") {
+      opt.enable_vs = true;
+    } else {
+      return usage();
+    }
+  }
+  if (opt.id == kNoNode || opt.peers_file.empty()) return usage();
+
+  net::UdpTransportConfig tcfg;
+  tcfg.self = opt.id;
+  IdSet all_ids;
+  {
+    std::ifstream in(opt.peers_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open peers file '%s'\n",
+                   opt.peers_file.c_str());
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      std::istringstream ls(line);
+      std::uint32_t id = 0;
+      net::UdpEndpoint ep;
+      if (!(ls >> id >> ep.host >> ep.port)) continue;  // blank / comment
+      // Reject non-numeric hosts here with a usage error; inside the
+      // transport an unresolvable address is an assertion (API misuse).
+      in_addr probe{};
+      if (::inet_pton(AF_INET, ep.host.c_str(), &probe) != 1) {
+        std::fprintf(stderr,
+                     "peers file '%s': host '%s' for node %u is not a "
+                     "numeric IPv4 address\n",
+                     opt.peers_file.c_str(), ep.host.c_str(), id);
+        return 2;
+      }
+      tcfg.peers[id] = ep;
+      all_ids.insert(id);
+    }
+  }
+  if (tcfg.peers.count(opt.id) == 0) {
+    std::fprintf(stderr, "--id %u has no entry in '%s'\n", opt.id,
+                 opt.peers_file.c_str());
+    return 2;
+  }
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
+  net::UdpTransport transport(tcfg);
+
+  node::NodeConfig ncfg;
+  ncfg.enable_vs = opt.enable_vs;
+  ncfg.tick_period = opt.tick_us;
+  ncfg.mux.link.retransmit_period = opt.retransmit_us;
+  // Real sockets have no fixed channel capacity; the threshold trades
+  // round (heartbeat) rate against duplicate tolerance.
+  ncfg.mux.link.ack_threshold = opt.ack_threshold;
+  ncfg.mux.link.clean_threshold = opt.ack_threshold;
+
+  node::Node node(transport, opt.id, ncfg, Rng(0x55D9 + opt.id));
+  IdSet seed_peers = all_ids;
+  seed_peers.erase(opt.id);
+  node.start(seed_peers);
+  std::printf("SSR_NODE_START id=%u port=%u peers=%s\n", opt.id,
+              transport.local_port(), format_ids(seed_peers).c_str());
+  std::fflush(stdout);
+
+  const SimTime deadline = opt.seconds * kSec;
+  bool converged = false;
+  bool done_printed = false;
+  bool increment_in_flight = false;
+  std::uint64_t increments_done = 0;
+  SimTime next_status = 5 * kSec;
+
+  while (!g_stop && transport.now() < deadline) {
+    transport.run_for(50 * kMsec);
+    const double t = static_cast<double>(transport.now()) / kSec;
+
+    const reconf::ConfigValue cfg = node.recsa().get_config();
+    if (!converged && node.recsa().no_reco() && cfg.is_proper() &&
+        cfg.ids() == all_ids) {
+      converged = true;
+      std::printf("CONVERGED t=%.1fs config=%s\n", t,
+                  format_ids(cfg.ids()).c_str());
+      std::fflush(stdout);
+    }
+
+    if (converged && increments_done < opt.increments &&
+        !increment_in_flight && !node.increment().busy()) {
+      // Set the flag before begin(): an increment refused mid-reconf runs
+      // the callback synchronously, and the callback must win over the
+      // begin() return value or the abort would latch the flag forever.
+      increment_in_flight = true;
+      const bool begun = node.increment().begin(
+          [&](std::optional<counter::Counter> c) {
+            increment_in_flight = false;
+            if (c) {
+              ++increments_done;
+              std::printf("INCREMENT_OK seqn=%llu\n",
+                          static_cast<unsigned long long>(c->seqn));
+            } else {
+              std::printf("INCREMENT_ABORT\n");  // legal during reconf; retry
+            }
+            std::fflush(stdout);
+          });
+      if (!begun) increment_in_flight = false;
+    }
+
+    if (converged && increments_done >= opt.increments && !done_printed) {
+      done_printed = true;
+      std::printf("SSR_NODE_DONE\n");
+      std::fflush(stdout);
+    }
+
+    if (transport.now() >= next_status) {
+      next_status += 5 * kSec;
+      std::printf("STATUS t=%.1fs trusted=%zu config=%s sent=%llu recv=%llu\n",
+                  t, node.failure_detector().trusted().size(),
+                  format_ids(cfg.ids()).c_str(),
+                  static_cast<unsigned long long>(transport.stats().sent),
+                  static_cast<unsigned long long>(transport.stats().received));
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf("SSR_NODE_EXIT ok=%d\n", done_printed ? 1 : 0);
+  std::fflush(stdout);
+  return done_printed ? 0 : 3;
+}
