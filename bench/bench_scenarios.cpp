@@ -13,17 +13,61 @@
 // envelopes): Arg(0) grows the buffer per field, Arg(1) reserves once.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <new>
 #include <string>
 
 #include "dlink/token_link.hpp"
+#include "net/channel.hpp"
 #include "scenario/library.hpp"
 #include "scenario/runner.hpp"
 
+// --- Global allocation counter ----------------------------------------------
+// Every operator new in the process bumps this counter; BM_ChannelSendAlloc
+// samples it around the steady-state send→deliver loop to assert the packet
+// hot path performs zero heap allocations. Counting is process-wide, which
+// is exactly the point: any hidden allocation — closure, tombstone, payload
+// copy, container growth — is caught no matter which layer snuck it in.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n != 0 ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n != 0 ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n != 0 ? n : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
 namespace ssr::bench {
 namespace {
+
+/// Set when an allocation assertion fails, so the process exits nonzero and
+/// CI fails loudly instead of just printing a slower number.
+bool g_alloc_regression = false;
 
 struct ScenarioAgg {
   int iterations = 0;
@@ -33,6 +77,8 @@ struct ScenarioAgg {
   double sched_events = 0;
   double packets_sent = 0;
   double packets_delivered = 0;
+  double pool_acquired = 0;
+  double pool_reused = 0;
 };
 
 std::map<std::string, ScenarioAgg>& metrics() {
@@ -69,6 +115,8 @@ void run_named(benchmark::State& state, const char* name) {
     local.sched_events += static_cast<double>(r.sched_events);
     local.packets_sent += static_cast<double>(r.packets_sent);
     local.packets_delivered += static_cast<double>(r.packets_delivered);
+    local.pool_acquired += static_cast<double>(r.pool_acquired);
+    local.pool_reused += static_cast<double>(r.pool_reused);
   }
   ScenarioAgg& agg = metrics()[name];
   agg.iterations += local.iterations;
@@ -78,12 +126,17 @@ void run_named(benchmark::State& state, const char* name) {
   agg.sched_events += local.sched_events;
   agg.packets_sent += local.packets_sent;
   agg.packets_delivered += local.packets_delivered;
+  agg.pool_acquired += local.pool_acquired;
+  agg.pool_reused += local.pool_reused;
   const double it = static_cast<double>(state.iterations());
   state.counters["sim_ms"] = benchmark::Counter(local.sim_ms / it);
   state.counters["trace_events"] = benchmark::Counter(local.trace_events / it);
   state.counters["events_per_sec"] = benchmark::Counter(
       local.wall_ms > 0 ? local.sched_events / (local.wall_ms / 1e3) : 0);
   state.counters["packets_sent"] = benchmark::Counter(local.packets_sent / it);
+  state.counters["pool_hit_pct"] = benchmark::Counter(
+      local.pool_acquired > 0 ? 100.0 * local.pool_reused / local.pool_acquired
+                              : 0);
 }
 
 void write_json(const char* path) {
@@ -101,11 +154,13 @@ void write_json(const char* path) {
                  "\"wall_ms\": %.3f, \"sim_ms\": %.3f, "
                  "\"trace_events\": %.1f, \"sched_events\": %.1f, "
                  "\"events_per_sec\": %.1f, "
-                 "\"packets_sent\": %.1f, \"packets_delivered\": %.1f}",
+                 "\"packets_sent\": %.1f, \"packets_delivered\": %.1f, "
+                 "\"pool_acquired\": %.1f, \"pool_reused\": %.1f}",
                  first ? "" : ",\n", name.c_str(), a.iterations,
                  a.wall_ms / it, a.sim_ms / it, a.trace_events / it,
                  a.sched_events / it, events_per_sec, a.packets_sent / it,
-                 a.packets_delivered / it);
+                 a.packets_delivered / it, a.pool_acquired / it,
+                 a.pool_reused / it);
     first = false;
   }
   std::fprintf(f, "\n  ]\n}\n");
@@ -136,6 +191,55 @@ BENCHMARK(BM_ScenarioMajoritySplit)
 BENCHMARK(BM_ScenarioPartitionHeal)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
+
+// --- Allocation micro-bench -------------------------------------------------
+
+/// Steady-state Channel::send → delivery with a warmed pool must perform
+/// exactly 0 heap allocations per packet: the payload buffer is pooled, the
+/// scheduler event comes from the slab, and no closure is built. The bench
+/// errors out (and the process exits nonzero) on any regression, so a new
+/// allocation on the hot path fails CI loudly instead of just slowly.
+void BM_ChannelSendAlloc(benchmark::State& state) {
+  sim::Scheduler sched;
+  net::ChannelConfig cfg;
+  cfg.loss_probability = 0;
+  cfg.duplicate_probability = 0;
+  cfg.corrupt_probability = 0;
+  cfg.capacity = 8;
+  std::uint64_t delivered = 0;
+  net::Channel ch(sched, Rng(1), cfg, 1, 2, [&](net::Packet& pkt) {
+    benchmark::DoNotOptimize(pkt.payload.data());
+    ++delivered;
+  });
+  auto send_one = [&](std::uint64_t tag) {
+    wire::Writer w;
+    w.u64(0x1122334455667788ULL);
+    w.u64(tag);
+    w.u32(7);
+    ch.send(w.take());
+    sched.run_for(5 * kMsec);  // drain: max_delay is 2ms
+  };
+  for (std::uint64_t i = 0; i < 64; ++i) send_one(i);  // warm pool + slab
+  std::uint64_t packets = 0;
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    send_one(packets);
+    ++packets;
+  }
+  const std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  state.counters["allocs_per_packet"] = benchmark::Counter(
+      packets > 0 ? static_cast<double>(allocs) / static_cast<double>(packets)
+                  : 0);
+  state.counters["delivered"] =
+      benchmark::Counter(static_cast<double>(delivered));
+  if (allocs != 0) {
+    g_alloc_regression = true;
+    state.SkipWithError("steady-state send→deliver allocated on the heap");
+  }
+}
+BENCHMARK(BM_ChannelSendAlloc);
 
 // --- Wire encode micro-benches ----------------------------------------------
 
@@ -191,5 +295,10 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   ssr::bench::write_json("BENCH_scenarios.json");
+  if (ssr::bench::g_alloc_regression) {
+    std::fprintf(stderr,
+                 "FAIL: the zero-allocation hot-path assertion tripped\n");
+    return 1;
+  }
   return 0;
 }

@@ -64,7 +64,7 @@ wire::Bytes CounterManager::encode_exchange(NodeId peer) {
 }
 
 void CounterManager::tick() {
-  const reconf::ConfigValue cur = recsa_.get_config();
+  const reconf::ConfigValue& cur = recsa_.get_config_ref();
   const bool no_reco = recsa_.no_reco();
 
   member_ = cur.is_proper() && cur.ids().contains(self_) &&
@@ -89,10 +89,10 @@ void CounterManager::tick() {
       mux_.publish_state(dlink::kPortCounter, k, encode_exchange(k));
     }
   }
-  for (NodeId peer : mux_.peers()) {
+  mux_.for_each_peer([&](NodeId peer) {
     if (!store_.members().contains(peer))
       mux_.clear_state(dlink::kPortCounter, peer);
-  }
+  });
 }
 
 void CounterManager::serve_read(NodeId from, std::uint32_t op) {
@@ -168,7 +168,7 @@ void CounterManager::on_message(NodeId from, const wire::Bytes& data) {
     case CounterMsg::kExchange: {
       if (!member_) return;
       if (!store_.members().contains(from)) return;
-      const reconf::ConfigValue cur = recsa_.get_config();
+      const reconf::ConfigValue& cur = recsa_.get_config_ref();
       if (!recsa_.no_reco() || conf_change(cur)) return;  // line 24
       CounterPair sent_max = CounterPair::decode(r);
       CounterPair last_sent = CounterPair::decode(r);

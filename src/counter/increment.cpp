@@ -30,7 +30,7 @@ void IncrementClient::send_write(NodeId to) {
 
 bool IncrementClient::begin(Callback cb) {
   if (busy_) return false;
-  const reconf::ConfigValue cur = recsa_.get_config();
+  const reconf::ConfigValue& cur = recsa_.get_config_ref();
   if (!recsa_.no_reco() || !cur.is_proper()) {
     // Line 29 of Algorithm 4.3: increments are refused outright during
     // reconfigurations.

@@ -48,5 +48,9 @@ struct BundleItem {
 
 wire::Bytes encode_bundle(const std::vector<BundleItem>& items);
 std::optional<std::vector<BundleItem>> decode_bundle(const wire::Bytes& raw);
+/// Allocation-light variant for the per-frame hot path: decodes into `out`
+/// (cleared first, capacity reused across frames). Returns false on a
+/// corrupted bundle; `out` may then hold a partial decode.
+bool decode_bundle(const wire::Bytes& raw, std::vector<BundleItem>& out);
 
 }  // namespace ssr::dlink

@@ -37,14 +37,21 @@ void LinkMux::shutdown() {
 
 void LinkMux::publish_state(Port port, NodeId peer, wire::Bytes data) {
   if (down_ || peer == self_) return;
-  ensure_peer(peer).state_slots[port] = std::move(data);
-  ensure_peer(peer).link->start();
+  auto& ps = ensure_peer(peer);
+  wire::Bytes& slot = ps.state_slots[port];
+  wire::BufferPool::local().release(std::move(slot));  // recycle the stale state
+  slot = std::move(data);
+  ps.link->start();
 }
 
 void LinkMux::publish_state_all(Port port, const wire::Bytes& data) {
   for (auto& [peer, ps] : peers_) {
     (void)ps;
-    publish_state(port, peer, data);
+    // Pooled per-peer copy: the broadcast fan-out is the hottest publish
+    // path and must not allocate once the pool is warm.
+    wire::Bytes copy = wire::BufferPool::local().acquire();
+    copy.assign(data.begin(), data.end());
+    publish_state(port, peer, std::move(copy));
   }
 }
 
@@ -78,29 +85,48 @@ wire::Bytes LinkMux::compose(NodeId peer) {
   auto it = peers_.find(peer);
   if (it == peers_.end()) return {};
   auto& ps = it->second;
-  std::vector<BundleItem> items;
+  // Scratch item list reused across rounds; every buffer that passes
+  // through it is released back to the pool after the encode, so a compose
+  // round is allocation-free in the steady state.
+  compose_scratch_.clear();
   for (const auto& [port, data] : ps.state_slots) {
-    items.push_back(BundleItem{port, true, data});
+    BundleItem item;
+    item.port = port;
+    item.is_state = true;
+    item.data = wire::BufferPool::local().acquire();
+    item.data.assign(data.begin(), data.end());
+    compose_scratch_.push_back(std::move(item));
   }
   std::size_t budget = cfg_.max_datagrams_per_frame;
   for (auto& [port, q] : ps.datagrams) {
     while (budget > 0 && !q.empty()) {
-      items.push_back(BundleItem{port, false, std::move(q.front())});
+      compose_scratch_.push_back(BundleItem{port, false, std::move(q.front())});
       q.pop_front();
       --budget;
     }
   }
-  return encode_bundle(items);
+  wire::Bytes out = encode_bundle(compose_scratch_);
+  for (auto& item : compose_scratch_) {
+    wire::BufferPool::local().release(std::move(item.data));
+  }
+  compose_scratch_.clear();
+  return out;
 }
 
 void LinkMux::deliver_bundle(NodeId peer, const wire::Bytes& bundle) {
   if (bundle.empty()) return;
-  auto items = decode_bundle(bundle);
-  if (!items) return;  // corrupted in flight — drop
-  for (const auto& item : *items) {
-    auto sub = subscribers_.find(item.port);
-    if (sub != subscribers_.end()) sub->second(peer, item.data);
+  const bool ok = decode_bundle(bundle, decode_scratch_);
+  if (ok) {
+    for (auto& item : decode_scratch_) {
+      auto sub = subscribers_.find(item.port);
+      if (sub != subscribers_.end()) sub->second(peer, item.data);
+    }
+  }  // else: corrupted in flight — drop (partial decode is recycled too)
+  for (auto& item : decode_scratch_) {
+    // The subscribers had their look; the slice buffers return to the pool.
+    wire::BufferPool::local().release(std::move(item.data));
   }
+  decode_scratch_.clear();
 }
 
 void LinkMux::handle_packet(const net::Packet& pkt) {
@@ -116,6 +142,8 @@ void LinkMux::handle_packet(const net::Packet& pkt) {
   auto& ps = ensure_peer(pkt.src);
   ps.link->start();
   ps.link->handle_frame(*frame);
+  // The decoded payload slice dies here; recycle it for the next frame.
+  wire::BufferPool::local().release(std::move(frame->payload));
 }
 
 IdSet LinkMux::peers() const {

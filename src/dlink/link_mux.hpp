@@ -69,6 +69,17 @@ class LinkMux {
   void handle_packet(const net::Packet& pkt);
 
   IdSet peers() const;
+  /// Applies `fn` to every connected peer, oldest id first — the per-tick
+  /// alternative to peers() that materializes no set. `fn` may clear state
+  /// slots but must not connect/disconnect peers. A template (not
+  /// std::function) so no capture size can reintroduce an allocation.
+  template <typename Fn>
+  void for_each_peer(Fn&& fn) const {
+    for (const auto& [peer, ps] : peers_) {
+      (void)ps;
+      fn(peer);
+    }
+  }
   const TokenLink* link(NodeId peer) const;
 
  private:
@@ -90,6 +101,10 @@ class LinkMux {
   std::map<Port, DeliverFn> subscribers_;
   HeartbeatFn heartbeat_;
   bool down_ = false;
+  /// Reused by compose() / deliver_bundle(); the buffers they carry are
+  /// pooled per round/frame.
+  std::vector<BundleItem> compose_scratch_;
+  std::vector<BundleItem> decode_scratch_;
 };
 
 }  // namespace ssr::dlink

@@ -44,20 +44,25 @@ wire::Bytes encode_bundle(const std::vector<BundleItem>& items) {
   return w.take();
 }
 
-std::optional<std::vector<BundleItem>> decode_bundle(const wire::Bytes& raw) {
+bool decode_bundle(const wire::Bytes& raw, std::vector<BundleItem>& out) {
+  out.clear();
   wire::Reader r(raw);
   const std::uint8_t n = r.u8();
-  std::vector<BundleItem> items;
-  items.reserve(n);
+  out.reserve(n);
   for (std::uint8_t i = 0; i < n; ++i) {
     BundleItem item;
     item.port = r.u8();
     item.is_state = r.boolean();
     item.data = r.bytes();
-    if (!r.ok()) return std::nullopt;
-    items.push_back(std::move(item));
+    if (!r.ok()) return false;
+    out.push_back(std::move(item));
   }
-  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return r.ok() && r.exhausted();
+}
+
+std::optional<std::vector<BundleItem>> decode_bundle(const wire::Bytes& raw) {
+  std::vector<BundleItem> items;
+  if (!decode_bundle(raw, items)) return std::nullopt;
   return items;
 }
 
@@ -107,22 +112,29 @@ void TokenLink::on_timer() {
 }
 
 void TokenLink::transmit_current() {
-  Frame f;
-  f.link_sender = self_;
+  // Encoded in place (byte-identical to Frame::encode) so the every-round
+  // retransmission neither copies tx_payload_ into a temporary Frame nor
+  // allocates: the Writer buffer comes from the pool.
+  wire::Writer w;
+  w.reserve(1 + 4 + 1 + 4 + tx_payload_.size());
   if (tx_state_ == TxState::kCleaning) {
-    f.kind = FrameKind::kClean;
-    f.label = clean_nonce_;
+    w.u8(static_cast<std::uint8_t>(FrameKind::kClean));
+    w.node_id(self_);
+    w.u8(clean_nonce_);
   } else {
-    f.kind = FrameKind::kData;
-    f.label = tx_label_;
-    f.payload = tx_payload_;
+    w.u8(static_cast<std::uint8_t>(FrameKind::kData));
+    w.node_id(self_);
+    w.u8(tx_label_);
+    w.bytes(tx_payload_);
   }
-  transport_.send(self_, peer_, f.encode());
+  transport_.send(self_, peer_, w.take());
 }
 
 void TokenLink::begin_round() {
   tx_label_ = static_cast<std::uint8_t>((tx_label_ + 1) % cfg_.label_domain);
   acks_seen_ = 0;
+  // The previous round's payload buffer feeds the next compose.
+  wire::BufferPool::local().release(std::move(tx_payload_));
   tx_payload_ = compose_();
   transmit_current();
 }

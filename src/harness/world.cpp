@@ -8,7 +8,13 @@ World::World(WorldConfig cfg)
     : cfg_(cfg),
       rng_(cfg.seed),
       net_(sched_, Rng(cfg.seed ^ 0xC0FFEE), cfg.channel),
-      transport_(net_) {}
+      transport_(net_) {
+  // Warm start: pre-size the event slab/heap so scenario startup does not
+  // pay growth reallocations on the first traffic bursts. The steady-state
+  // population is one timer per node plus capacity-bounded in-flight
+  // packets per channel pair; 4096 covers every library scenario.
+  sched_.reserve(4096);
+}
 
 node::Node& World::add_stopped_node(NodeId id) {
   SSR_ASSERT(!nodes_.count(id), "node id reused — identifiers are unique");
@@ -65,7 +71,7 @@ bool World::converged() const {
     if (!n->started() || n->crashed()) continue;
     any = true;
     if (!n->recsa().no_reco()) return false;
-    const reconf::ConfigValue c = n->recsa().get_config();
+    const reconf::ConfigValue& c = n->recsa().get_config_ref();
     if (!c.is_proper()) return false;
     if (!common) {
       common = c.ids();

@@ -35,7 +35,7 @@ wire::Bytes Labeling::encode_exchange(NodeId peer) {
 }
 
 void Labeling::tick() {
-  const reconf::ConfigValue cur = recsa_.get_config();
+  const reconf::ConfigValue& cur = recsa_.get_config_ref();
   const bool no_reco = recsa_.no_reco();
 
   member_ = cur.is_proper() && cur.ids().contains(self_) &&
@@ -61,17 +61,17 @@ void Labeling::tick() {
       mux_.publish_state(dlink::kPortLabel, k, encode_exchange(k));
     }
   }
-  for (NodeId peer : mux_.peers()) {
+  mux_.for_each_peer([&](NodeId peer) {
     if (!store_.members().contains(peer))
       mux_.clear_state(dlink::kPortLabel, peer);
-  }
+  });
 }
 
 void Labeling::on_message(NodeId from, const wire::Bytes& data) {
   // Lines 18–22: receive ⟨sentMax, lastSent⟩ from a member.
   if (!member_) return;
   if (!store_.members().contains(from)) return;
-  const reconf::ConfigValue cur = recsa_.get_config();
+  const reconf::ConfigValue& cur = recsa_.get_config_ref();
   if (!recsa_.no_reco() || conf_change(cur)) return;
   wire::Reader r(data);
   LabelPair sent_max = LabelPair::decode(r);

@@ -1,7 +1,5 @@
 #include "net/channel.hpp"
 
-#include <algorithm>
-
 namespace ssr::net {
 
 Channel::Channel(sim::Scheduler& sched, Rng rng, ChannelConfig cfg, NodeId src,
@@ -11,63 +9,74 @@ Channel::Channel(sim::Scheduler& sched, Rng rng, ChannelConfig cfg, NodeId src,
       cfg_(cfg),
       src_(src),
       dst_(dst),
-      deliver_(std::move(deliver)) {}
-
-void Channel::prune() {
-  std::erase_if(in_flight_,
-                [](const sim::Scheduler::Handle& h) { return !h.pending(); });
+      deliver_(std::move(deliver)) {
+  in_flight_.reserve(cfg_.capacity + 1);
 }
 
-std::size_t Channel::in_flight() const {
-  return static_cast<std::size_t>(
-      std::count_if(in_flight_.begin(), in_flight_.end(),
-                    [](const sim::Scheduler::Handle& h) { return h.pending(); }));
+void Channel::deliver_packet(wire::Bytes&& payload) {
+  // The fired event's slot is already freed, so exactly one handle is no
+  // longer pending; drop it, preserving insertion order for the victim
+  // draw. The scan is bounded by the channel capacity and each check is a
+  // generation compare, not an atomic weak_ptr lock.
+  for (auto it = in_flight_.begin(); it != in_flight_.end(); ++it) {
+    if (!it->pending()) {
+      in_flight_.erase(it);
+      break;
+    }
+  }
+  ++stats_.delivered;
+  Packet pkt{src_, dst_, std::move(payload)};
+  deliver_(pkt);
+  pool_.release(std::move(pkt.payload));
 }
 
 void Channel::schedule_delivery(wire::Bytes payload, bool count_as_send) {
-  prune();
   if (count_as_send) ++stats_.sent;
   if (in_flight_.size() >= cfg_.capacity) {
     // Bounded capacity: either the new packet or some already sent packet
     // is omitted (paper, Section 2).
     ++stats_.overflowed;
-    if (rng_.chance(0.5)) return;  // omit the new packet
+    if (rng_.chance(0.5)) {  // omit the new packet
+      pool_.release(std::move(payload));
+      return;
+    }
     const std::size_t victim = rng_.next_below(in_flight_.size());
-    in_flight_[victim].cancel();
+    in_flight_[victim].cancel();  // frees the slot, recycles the buffer
     in_flight_.erase(in_flight_.begin() + static_cast<std::ptrdiff_t>(victim));
   }
   const SimTime delay = rng_.next_range(cfg_.min_delay, cfg_.max_delay);
-  Packet pkt{src_, dst_, std::move(payload)};
-  if (cfg_.corrupt_probability > 0 && !pkt.payload.empty() &&
+  if (cfg_.corrupt_probability > 0 && !payload.empty() &&
       rng_.chance(cfg_.corrupt_probability)) {
     ++stats_.corrupted;
-    const std::size_t pos = rng_.next_below(pkt.payload.size());
-    pkt.payload[pos] ^= static_cast<std::uint8_t>(1u << rng_.next_below(8));
+    const std::size_t pos = rng_.next_below(payload.size());
+    payload[pos] ^= static_cast<std::uint8_t>(1u << rng_.next_below(8));
   }
-  in_flight_.push_back(sched_.schedule_after(
-      delay, [this, pkt = std::move(pkt)]() mutable {
-        ++stats_.delivered;
-        deliver_(std::move(pkt));
-      }));
+  in_flight_.push_back(
+      sched_.schedule_packet_after(delay, this, std::move(payload)));
 }
 
 void Channel::send(wire::Bytes payload) {
   if (rng_.chance(cfg_.loss_probability)) {
     ++stats_.sent;
     ++stats_.lost;
+    pool_.release(std::move(payload));
     return;
   }
-  const bool dup = rng_.chance(cfg_.duplicate_probability);
-  if (dup) {
+  if (rng_.chance(cfg_.duplicate_probability)) {
     ++stats_.duplicated;
-    schedule_delivery(payload, false);
+    // The duplicate is the (pooled) copy; the original payload always
+    // moves, so the common no-dup path never copies a byte.
+    wire::Bytes dup = pool_.acquire();
+    dup.assign(payload.begin(), payload.end());
+    schedule_delivery(std::move(dup), false);
   }
   schedule_delivery(std::move(payload), true);
 }
 
 void Channel::inject_garbage(std::size_t count, std::size_t max_len) {
   for (std::size_t i = 0; i < count; ++i) {
-    wire::Bytes junk(rng_.next_range(1, max_len));
+    wire::Bytes junk = pool_.acquire();
+    junk.resize(rng_.next_range(1, max_len));
     for (auto& b : junk) b = static_cast<std::uint8_t>(rng_.next_u64());
     schedule_delivery(std::move(junk), false);
   }

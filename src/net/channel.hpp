@@ -30,14 +30,25 @@ struct ChannelConfig {
 
 /// Directed unreliable bounded-capacity channel from one processor to
 /// another. Delivery order is randomized through per-packet delays.
-class Channel {
+///
+/// The channel is the scheduler's packet sink: every in-flight packet is a
+/// typed pooled event ({this, payload buffer}) rather than a closure, and
+/// payload buffers cycle through wire::BufferPool, so steady-state traffic
+/// allocates nothing. `in_flight_` always holds exactly the live delivery
+/// handles in insertion order — the handle of a delivered packet is dropped
+/// as the event fires — which makes in_flight() O(1) and removes the old
+/// per-send prune/count scans.
+class Channel final : public sim::PacketSink {
  public:
-  using Deliver = std::function<void(Packet)>;
+  /// Delivery callback. The packet is only valid for the duration of the
+  /// call: its payload buffer is recycled when the callback returns.
+  using Deliver = std::function<void(Packet&)>;
 
   Channel(sim::Scheduler& sched, Rng rng, ChannelConfig cfg, NodeId src,
           NodeId dst, Deliver deliver);
 
-  /// Sends a payload. May silently omit (loss or capacity overflow).
+  /// Sends a payload. May silently omit (loss or capacity overflow). The
+  /// buffer is consumed either way (recycled on omission).
   void send(wire::Bytes payload);
 
   /// Transient-fault injection: places `count` packets with arbitrary
@@ -49,12 +60,16 @@ class Channel {
   /// (used to model stale protocol messages surviving in channels).
   void inject_packet(wire::Bytes payload);
 
-  /// Drops every in-flight packet (models the snap-stabilizing cleaning
-  /// completing, and link failure).
+  /// Drops every in-flight packet in one batch (models the snap-stabilizing
+  /// cleaning completing, and link failure); the payload buffers return to
+  /// the pool.
   void flush();
 
-  std::size_t in_flight() const;
+  std::size_t in_flight() const { return in_flight_.size(); }
   const ChannelConfig& config() const { return cfg_; }
+
+  /// sim::PacketSink: a scheduled delivery came due.
+  void deliver_packet(wire::Bytes&& payload) override;
 
   struct Stats {
     std::uint64_t sent = 0;
@@ -68,14 +83,19 @@ class Channel {
 
  private:
   void schedule_delivery(wire::Bytes payload, bool count_as_send);
-  void prune();
 
   sim::Scheduler& sched_;
+  wire::BufferPool& pool_ = wire::BufferPool::local();
   Rng rng_;
   ChannelConfig cfg_;
   NodeId src_;
   NodeId dst_;
   Deliver deliver_;
+  /// Live delivery events only, in insertion order. Order matters: the
+  /// overflow victim draw indexes this vector, and the index → packet
+  /// mapping is part of the pinned replay executions (which is why victims
+  /// are erased in place, not swap-and-popped — swapping would permute the
+  /// mapping and drift every downstream trace hash).
   std::vector<sim::Scheduler::Handle> in_flight_;
   Stats stats_;
 };

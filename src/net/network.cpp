@@ -3,12 +3,23 @@
 namespace ssr::net {
 
 Channel& Network::channel(NodeId src, NodeId dst) {
+  const std::uint64_t flat =
+      (static_cast<std::uint64_t>(src) << 32) | dst;
+  auto hit = channel_index_.find(flat);
+  if (hit != channel_index_.end()) return *hit->second;
   auto key = std::make_pair(src, dst);
   auto it = channels_.find(key);
   if (it == channels_.end()) {
-    auto deliver = [this, dst](Packet pkt) {
-      auto h = handlers_.find(dst);
-      if (h != handlers_.end()) h->second(pkt);
+    // The per-delivery handler lookup is cached across calls and
+    // revalidated against the attach epoch (attach/detach invalidates).
+    auto deliver = [this, dst, cached = static_cast<const Handler*>(nullptr),
+                    epoch = std::uint64_t(0)](Packet& pkt) mutable {
+      if (epoch != attach_epoch_) {
+        auto h = handlers_.find(dst);
+        cached = h == handlers_.end() ? nullptr : &h->second;
+        epoch = attach_epoch_;
+      }
+      if (cached != nullptr) (*cached)(pkt);
       // else: destination crashed or absent — the packet vanishes.
     };
     it = channels_
@@ -16,6 +27,7 @@ Channel& Network::channel(NodeId src, NodeId dst) {
                                                      src, dst, deliver))
              .first;
   }
+  channel_index_.emplace(flat, it->second.get());
   return *it->second;
 }
 
@@ -34,21 +46,40 @@ void Network::split(const IdSet& a, const IdSet& b) {
 
 void Network::heal() { blocked_.clear(); }
 
+void Network::LoopbackSink::deliver_packet(wire::Bytes&& payload) {
+  // Handler existence is re-checked at fire time: the destination may have
+  // crashed while the loopback packet was in flight.
+  auto it = net->handlers_.find(dst);
+  if (it != net->handlers_.end()) {
+    Packet pkt{dst, dst, std::move(payload)};
+    it->second(pkt);
+    wire::BufferPool::local().release(std::move(pkt.payload));
+  } else {
+    wire::BufferPool::local().release(std::move(payload));
+  }
+}
+
 void Network::send(NodeId src, NodeId dst, wire::Bytes payload) {
   if (blocked(src, dst)) {
     ++packets_blocked_;
+    wire::BufferPool::local().release(std::move(payload));
     return;
   }
   if (src == dst) {
     // Loopback: deliver next step without loss (a processor reading its own
     // state needs no channel; kept for uniformity of broadcast loops).
-    auto h = handlers_.find(dst);
-    if (h == handlers_.end()) return;
-    Packet pkt{src, dst, std::move(payload)};
-    sched_.schedule_after(1, [this, dst, pkt = std::move(pkt)]() {
-      auto it = handlers_.find(dst);
-      if (it != handlers_.end()) it->second(pkt);
-    });
+    // As before, nothing is scheduled when the destination is absent at
+    // send time (event seq numbering is part of the pinned executions).
+    if (handlers_.find(dst) == handlers_.end()) {
+      wire::BufferPool::local().release(std::move(payload));
+      return;
+    }
+    auto lb = loopbacks_.find(dst);
+    if (lb == loopbacks_.end()) {
+      lb = loopbacks_.emplace(dst, std::make_unique<LoopbackSink>(this, dst))
+               .first;
+    }
+    sched_.schedule_packet_after(1, lb->second.get(), std::move(payload));
     return;
   }
   channel(src, dst).send(std::move(payload));

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <set>
+#include <unordered_map>
 #include <utility>
 
 #include "net/channel.hpp"
@@ -19,6 +21,11 @@ namespace ssr::net {
 /// A directed Channel is created lazily per ordered pair. Crashed or
 /// never-registered destinations silently drop packets (a crashed processor
 /// takes no further steps — paper, Section 2).
+///
+/// Hot-path notes: each channel's delivery callback caches the destination
+/// handler pointer, validated against an attach epoch, so steady-state
+/// delivery costs no map lookup; loopback traffic rides the scheduler's
+/// typed packet path (no closure, pooled payload buffer).
 class Network {
  public:
   using Handler = std::function<void(const Packet&)>;
@@ -34,9 +41,13 @@ class Network {
     SSR_ASSERT(handlers_.count(id) == 0,
                "re-attach of a live node — detach the old incarnation first");
     handlers_[id] = std::move(handler);
+    ++attach_epoch_;
   }
   /// Detaches a node: models a crash; its inbound packets are dropped.
-  void detach(NodeId id) { handlers_.erase(id); }
+  void detach(NodeId id) {
+    handlers_.erase(id);
+    ++attach_epoch_;
+  }
   bool attached(NodeId id) const { return handlers_.count(id) != 0; }
 
   void send(NodeId src, NodeId dst, wire::Bytes payload);
@@ -67,11 +78,28 @@ class Network {
   sim::Scheduler& scheduler() { return sched_; }
 
  private:
+  /// Typed scheduler sink for loopback packets (src == dst): delivery next
+  /// step without loss, no closure, pooled buffer.
+  struct LoopbackSink final : sim::PacketSink {
+    LoopbackSink(Network* n, NodeId d) : net(n), dst(d) {}
+    void deliver_packet(wire::Bytes&& payload) override;
+    Network* net;
+    NodeId dst;
+  };
+
   sim::Scheduler& sched_;
   Rng rng_;
   ChannelConfig cfg_;
   std::map<NodeId, Handler> handlers_;
+  /// Bumped on every attach/detach; channels revalidate their cached
+  /// handler pointer against it (map nodes are address-stable otherwise).
+  std::uint64_t attach_epoch_ = 1;
   std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Channel>> channels_;
+  /// O(1) send-path index over channels_. The ordered map stays the source
+  /// of truth so for_each_channel keeps its deterministic iteration order
+  /// (fault injection draws RNG per channel in that order).
+  std::unordered_map<std::uint64_t, Channel*> channel_index_;
+  std::map<NodeId, std::unique_ptr<LoopbackSink>> loopbacks_;
   std::set<std::pair<NodeId, NodeId>> blocked_;
   std::uint64_t packets_blocked_ = 0;
 };

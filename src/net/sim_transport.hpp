@@ -5,6 +5,17 @@
 
 namespace ssr::net {
 
+/// TimerHandle dispatch straight into the scheduler's {slot, generation}
+/// slab — a simulated timer handle is two words of POD, no allocation.
+inline constexpr TimerHandle::Ops kSchedulerTimerOps{
+    [](void* owner, std::uint32_t slot, std::uint32_t gen) {
+      static_cast<sim::Scheduler*>(owner)->cancel_event(slot, gen);
+    },
+    [](const void* owner, std::uint32_t slot, std::uint32_t gen) {
+      return static_cast<const sim::Scheduler*>(owner)->event_pending(slot,
+                                                                      gen);
+    }};
+
 /// Transport over the simulated fabric: delegates packet movement to the
 /// Network (bounded lossy channels, partitions) and timers to the
 /// deterministic scheduler. A pure pass-through — wrapping a stack in a
@@ -27,8 +38,10 @@ class SimTransport final : public Transport {
 
   SimTime now() const override { return net_.scheduler().now(); }
   TimerHandle schedule_after(SimTime delay, TimerFn fn) override {
-    return TimerHandle(
-        net_.scheduler().schedule_after(delay, std::move(fn)).token());
+    const sim::Scheduler::Handle h =
+        net_.scheduler().schedule_after(delay, std::move(fn));
+    return TimerHandle(&kSchedulerTimerOps, &net_.scheduler(), h.slot(),
+                       h.generation());
   }
 
   /// The wrapped fabric, for fault injection and channel inspection.

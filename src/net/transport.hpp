@@ -1,32 +1,45 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
-#include <memory>
 
 #include "net/packet.hpp"
 #include "util/types.hpp"
 
 namespace ssr::net {
 
-/// Cancelable handle for a transport timer. Cancellation is O(1) and
-/// idempotent: the shared liveness token is flipped and the transport skips
-/// the event when it comes due (the same tombstone scheme as
-/// sim::Scheduler::Handle, so simulated timers carry no extra bookkeeping).
+/// Cancelable handle for a transport timer. Cancellation and pending checks
+/// are O(1), idempotent generation compares against the owning transport's
+/// event slab (the same {slot, generation} scheme as sim::Scheduler::Handle
+/// — no shared_ptr tombstone, no atomics). A handle must not outlive the
+/// transport that issued it; both operations are safe no-ops after the
+/// timer fired, was cancelled, or its slot was reused.
 class TimerHandle {
  public:
+  /// Per-transport dispatch table; one static instance per transport type
+  /// keeps the handle itself at two words of POD.
+  struct Ops {
+    void (*cancel)(void* owner, std::uint32_t slot, std::uint32_t gen);
+    bool (*pending)(const void* owner, std::uint32_t slot, std::uint32_t gen);
+  };
+
   TimerHandle() = default;
-  explicit TimerHandle(std::weak_ptr<bool> alive) : alive_(std::move(alive)) {}
+  TimerHandle(const Ops* ops, void* owner, std::uint32_t slot,
+              std::uint32_t gen)
+      : ops_(ops), owner_(owner), slot_(slot), gen_(gen) {}
 
   void cancel() const {
-    if (auto p = alive_.lock()) *p = false;
+    if (ops_ != nullptr) ops_->cancel(owner_, slot_, gen_);
   }
   bool pending() const {
-    auto p = alive_.lock();
-    return p && *p;
+    return ops_ != nullptr && ops_->pending(owner_, slot_, gen_);
   }
 
  private:
-  std::weak_ptr<bool> alive_;
+  const Ops* ops_ = nullptr;
+  void* owner_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 /// Message-passing fabric under the node stack.

@@ -73,6 +73,7 @@ std::optional<Packet> UdpTransport::decode_envelope(const std::uint8_t* data,
   // Strict framing: the length prefix must name exactly the bytes present
   // (truncated or padded datagrams are corruption, not messages).
   if (rd_u32(13) != len - kHeader) return std::nullopt;
+  pkt.payload = wire::BufferPool::local().acquire();
   pkt.payload.assign(data + kHeader, data + len);
   return pkt;
 }
@@ -128,9 +129,10 @@ void UdpTransport::send(NodeId src, NodeId dst, wire::Bytes payload) {
     // No route — indistinguishable from a crashed destination; the
     // retransmitting link layer handles it like any other loss.
     ++stats_.send_failures;
+    wire::BufferPool::local().release(std::move(payload));
     return;
   }
-  const wire::Bytes datagram = encode_envelope(src, dst, payload);
+  wire::Bytes datagram = encode_envelope(src, dst, payload);
   const ssize_t n = ::sendto(
       fd_, datagram.data(), datagram.size(), 0,
       reinterpret_cast<const sockaddr*>(it->second.data()),
@@ -140,25 +142,55 @@ void UdpTransport::send(NodeId src, NodeId dst, wire::Bytes payload) {
   } else {
     ++stats_.send_failures;  // EAGAIN/ENOBUFS — UDP is lossy anyway
   }
+  // Both buffers die here: recycle them for the next send.
+  wire::BufferPool::local().release(std::move(datagram));
+  wire::BufferPool::local().release(std::move(payload));
 }
 
 SimTime UdpTransport::now() const { return steady_usec() - epoch_usec_; }
 
+const TimerHandle::Ops UdpTransport::kTimerOps{
+    [](void* owner, std::uint32_t slot, std::uint32_t gen) {
+      auto* t = static_cast<UdpTransport*>(owner);
+      if (slot < t->timer_slots_.size() && t->timer_slots_[slot].gen == gen) {
+        t->free_timer_slot(slot);
+      }
+    },
+    [](const void* owner, std::uint32_t slot, std::uint32_t gen) {
+      const auto* t = static_cast<const UdpTransport*>(owner);
+      return slot < t->timer_slots_.size() && t->timer_slots_[slot].gen == gen;
+    }};
+
+std::uint32_t UdpTransport::alloc_timer_slot() {
+  if (timer_free_head_ != 0xFFFFFFFFu) {
+    const std::uint32_t slot = timer_free_head_;
+    timer_free_head_ = timer_slots_[slot].next_free;
+    return slot;
+  }
+  timer_slots_.emplace_back();
+  return static_cast<std::uint32_t>(timer_slots_.size() - 1);
+}
+
+void UdpTransport::free_timer_slot(std::uint32_t slot) {
+  TimerSlot& s = timer_slots_[slot];
+  ++s.gen;  // retires outstanding handles and the heap tombstone
+  if (s.fn) s.fn = nullptr;
+  s.next_free = timer_free_head_;
+  timer_free_head_ = slot;
+}
+
 TimerHandle UdpTransport::schedule_after(SimTime delay, TimerFn fn) {
-  TimerEvent ev;
-  ev.when = now() + delay;
-  ev.seq = next_seq_++;
-  ev.fn = std::move(fn);
-  ev.alive = std::make_shared<bool>(true);
-  TimerHandle handle{std::weak_ptr<bool>(ev.alive)};
-  timers_.push(std::move(ev));
-  return handle;
+  const std::uint32_t slot = alloc_timer_slot();
+  TimerSlot& s = timer_slots_[slot];
+  s.fn = std::move(fn);
+  timers_.push(TimerEntry{now() + delay, next_seq_++, slot, s.gen});
+  return TimerHandle(&kTimerOps, this, slot, s.gen);
 }
 
 SimTime UdpTransport::wait_budget(SimTime fallback) {
   // Skim cancelled timers off the top so a dead timer never shortens the
   // poll sleep (and the queue cannot fill with tombstones).
-  while (!timers_.empty() && !*timers_.top().alive) timers_.pop();
+  while (!timers_.empty() && !timer_live(timers_.top())) timers_.pop();
   if (timers_.empty()) return fallback;
   const SimTime t = now();
   const SimTime due = timers_.top().when;
@@ -196,10 +228,12 @@ bool UdpTransport::drain_socket() {
     auto h = handlers_.find(pkt->dst);
     if (h == handlers_.end()) {
       ++stats_.dropped_unattached;
+      wire::BufferPool::local().release(std::move(pkt->payload));
       continue;
     }
     ++stats_.received;
     h->second(*pkt);
+    wire::BufferPool::local().release(std::move(pkt->payload));
   }
   return any;
 }
@@ -207,15 +241,18 @@ bool UdpTransport::drain_socket() {
 bool UdpTransport::fire_due_timers() {
   bool any = false;
   while (!timers_.empty()) {
-    const TimerEvent& top = timers_.top();
-    if (!*top.alive) {
+    const TimerEntry top = timers_.top();
+    if (!timer_live(top)) {
       timers_.pop();
       continue;
     }
     if (top.when > now()) break;
-    TimerFn fn = std::move(const_cast<TimerEvent&>(top).fn);
-    *top.alive = false;
     timers_.pop();
+    // Move the callback out and free the slot before firing, so the timer's
+    // own handle reads as not-pending and rescheduling from inside is safe.
+    TimerFn fn = std::move(timer_slots_[top.slot].fn);
+    timer_slots_[top.slot].fn = nullptr;
+    free_timer_slot(top.slot);
     ++stats_.timers_fired;
     any = true;
     fn();

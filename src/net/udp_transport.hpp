@@ -92,14 +92,24 @@ class UdpTransport final : public Transport {
                                                std::size_t len);
 
  private:
-  struct TimerEvent {
+  /// Pooled timer record; the same {slot, generation} handle scheme as
+  /// sim::Scheduler (a TimerHandle is a generation compare away from its
+  /// slot — no shared_ptr tombstone per timer).
+  struct TimerSlot {
+    std::uint32_t gen = 0;  // liveness == generation match, nothing else
+    std::uint32_t next_free = 0xFFFFFFFFu;
+    TimerFn fn;
+  };
+  /// Heap entry with the full ordering key inline; a stale (slot, gen)
+  /// pair marks a cancelled timer's tombstone, dropped lazily.
+  struct TimerEntry {
     SimTime when = 0;
     std::uint64_t seq = 0;  // FIFO tie-break at equal deadlines
-    TimerFn fn;
-    std::shared_ptr<bool> alive;
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
   };
   struct Later {
-    bool operator()(const TimerEvent& a, const TimerEvent& b) const {
+    bool operator()(const TimerEntry& a, const TimerEntry& b) const {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
     }
@@ -109,6 +119,12 @@ class UdpTransport final : public Transport {
   bool fire_due_timers();
   /// Wall time until the next live timer, or `fallback` with none pending.
   SimTime wait_budget(SimTime fallback);
+  std::uint32_t alloc_timer_slot();
+  void free_timer_slot(std::uint32_t slot);
+  bool timer_live(const TimerEntry& e) const {
+    return timer_slots_[e.slot].gen == e.gen;
+  }
+  static const TimerHandle::Ops kTimerOps;
 
   UdpTransportConfig cfg_;
   int fd_ = -1;
@@ -117,7 +133,9 @@ class UdpTransport final : public Transport {
   std::map<NodeId, Handler> handlers_;
   std::map<NodeId, std::vector<std::uint8_t>> addrs_;  // resolved sockaddr_in
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<TimerEvent, std::vector<TimerEvent>, Later> timers_;
+  std::vector<TimerSlot> timer_slots_;
+  std::uint32_t timer_free_head_ = 0xFFFFFFFFu;
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>, Later> timers_;
   std::vector<std::uint8_t> rx_buf_;
   Stats stats_;
 };

@@ -56,7 +56,7 @@ void RecMA::tick() {
     return;
   }
 
-  const ConfigValue cur = recsa_.get_config();  // line 7
+  const ConfigValue& cur = recsa_.get_config_ref();  // line 7
   Flags& mine = flags_[self_];
   mine.no_maj = false;  // line 8
   mine.need_reconf = false;
@@ -130,9 +130,9 @@ void RecMA::broadcast() {
     mux_.publish_state(dlink::kPortRecMA, j,
                        encode_flags(mine.no_maj, mine.need_reconf));
   }
-  for (NodeId peer : mux_.peers()) {
+  mux_.for_each_peer([&](NodeId peer) {
     if (!part.contains(peer)) mux_.clear_state(dlink::kPortRecMA, peer);
-  }
+  });
 }
 
 void RecMA::inject_flags(NodeId entry, bool no_maj, bool need_reconf) {

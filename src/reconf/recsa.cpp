@@ -82,20 +82,54 @@ const Notification& RecSA::prp_of(NodeId id) const {
   return it == records_.end() ? kDefaultNtf : it->second.prp;
 }
 
-RecSA::PeerRecord& RecSA::record(NodeId id) { return records_[id]; }
+RecSA::PeerRecord& RecSA::record(NodeId id) {
+  // Non-const access means a write is coming: invalidate the derived-view
+  // caches up front (the ref may be written through after we return).
+  ++state_version_;
+  return records_[id];
+}
 
 void RecSA::on_message(NodeId from, const wire::Bytes& data) {
   if (from == self_) return;
   auto msg = RecSAMessage::decode(data);
   if (!msg) return;  // corrupted in flight
-  PeerRecord& r = record(from);
-  r.fd = msg->fd;
-  r.part = msg->part;
-  r.fd_known = true;
-  r.config = msg->config;
-  r.prp = msg->prp;
-  r.all = msg->all;
-  r.echo = msg->echo;
+  // Deliberately not via record(): fields are compared before assignment,
+  // and the derived-view caches are only invalidated when something
+  // actually changed — in the steady state every peer re-broadcasts the
+  // same view, so no_reco()/chs_config() stay cached across deliveries.
+  // (A default-constructed record reads identically to an absent one for
+  // every derived view, so creating the map entry itself is not a change.)
+  PeerRecord& r = records_[from];
+  bool changed = false;
+  if (!(r.fd == msg->fd)) {
+    r.fd = std::move(msg->fd);
+    changed = true;
+  }
+  if (!(r.part == msg->part)) {
+    r.part = std::move(msg->part);
+    changed = true;
+  }
+  if (!r.fd_known) {
+    r.fd_known = true;
+    changed = true;
+  }
+  if (!(r.config == msg->config)) {
+    r.config = std::move(msg->config);
+    changed = true;
+  }
+  if (!(r.prp == msg->prp)) {
+    r.prp = std::move(msg->prp);
+    changed = true;
+  }
+  if (r.all != msg->all) {
+    r.all = msg->all;
+    changed = true;
+  }
+  if (!(r.echo == msg->echo)) {
+    r.echo = std::move(msg->echo);
+    changed = true;
+  }
+  if (changed) ++state_version_;
 }
 
 void RecSA::set_own_config(ConfigValue v) {
@@ -106,6 +140,7 @@ void RecSA::set_own_config(ConfigValue v) {
 }
 
 void RecSA::config_set(const ConfigValue& val) {
+  ++state_version_;  // the loop below writes records_ directly
   if (val.is_bottom() && !config_of(self_).is_bottom()) ++stats_.resets_started;
   if (val.is_set()) ++stats_.brute_installs;
   // Ensure entries exist for every trusted processor so a reset marks
@@ -154,18 +189,27 @@ Notification RecSA::max_ntf() const {
   return best;
 }
 
-ConfigValue RecSA::chs_config() const {
-  std::vector<ConfigValue> values;
+const ConfigValue& RecSA::chs_config_ref() const {
+  if (chs_version_ == state_version_ && chs_value_ != nullptr) {
+    return *chs_value_;
+  }
+  // choose(): deterministic pick — the minimum under the total order.
+  // Tracked as a pointer: deduplication is irrelevant to the minimum, so
+  // the old distinct-values vector (and its ConfigValue copies) is not
+  // needed.
+  const ConfigValue* best = nullptr;
   for (NodeId k : fd_self_) {
     const ConfigValue& c = config_of(k);
     if (c.is_non_participant()) continue;
-    if (std::find(values.begin(), values.end(), c) == values.end())
-      values.push_back(c);
+    if (best == nullptr || c < *best) best = &c;
   }
-  if (values.empty()) return ConfigValue::bottom();  // complete collapse
-  // choose(): deterministic pick — the minimum under the total order.
-  return *std::min_element(values.begin(), values.end());
+  static const ConfigValue kBottom = ConfigValue::bottom();
+  chs_value_ = best == nullptr ? &kBottom : best;  // null = complete collapse
+  chs_version_ = state_version_;
+  return *chs_value_;
 }
+
+ConfigValue RecSA::chs_config() const { return chs_config_ref(); }
 
 bool RecSA::echo_no_all(NodeId k, const IdSet& part) const {
   if (k == self_) return true;
@@ -289,23 +333,41 @@ int RecSA::stale_type(const IdSet& part) const {
 // ---------------------------------------------------------------------------
 
 bool RecSA::no_reco() const {
-  const IdSet part = part_set();
+  if (no_reco_version_ == state_version_) return no_reco_value_;
+  no_reco_value_ = compute_no_reco();
+  no_reco_version_ = state_version_;
+  return no_reco_value_;
+}
+
+bool RecSA::compute_no_reco() const {
+  // Called once per subsystem per tick: evaluated allocation-free. The
+  // participant set builds into a reusable scratch (capacity sticks) and
+  // the conflict scan tracks a pointer to the first configuration instead
+  // of collecting distinct copies — any second distinct value means false
+  // either way.
+  part_scratch_.clear();
+  for (NodeId k : fd_self_) {
+    if (!config_of(k).is_non_participant()) part_scratch_.insert(k);
+  }
+  const IdSet& part = part_scratch_;
   // (5) no delicate replacement in progress anywhere in the local view.
   for (const auto& [id, rec] : records_) {
     (void)id;
     if (!rec.prp.is_default()) return false;
   }
   // (2)+(4) configuration conflicts / reset / empty configurations.
-  std::vector<ConfigValue> values;
+  const ConfigValue* first = nullptr;
   for (NodeId k : fd_self_) {
     const ConfigValue& c = config_of(k);
     if (c.is_non_participant()) continue;
     if (c.is_bottom()) return false;
     if (c.is_set() && c.ids().empty()) return false;
-    if (std::find(values.begin(), values.end(), c) == values.end())
-      values.push_back(c);
+    if (first == nullptr) {
+      first = &c;
+    } else if (!(*first == c)) {
+      return false;  // two distinct configurations — a conflict
+    }
   }
-  if (values.size() > 1) return false;
   // (1) pi is recognized by every trusted participant.
   for (NodeId j : part) {
     if (j == self_) continue;
@@ -325,10 +387,12 @@ bool RecSA::no_reco() const {
   return true;
 }
 
-ConfigValue RecSA::get_config() const {
-  if (no_reco()) return chs_config();
+const ConfigValue& RecSA::get_config_ref() const {
+  if (no_reco()) return chs_config_ref();
   return config_of(self_);
 }
+
+ConfigValue RecSA::get_config() const { return get_config_ref(); }
 
 bool RecSA::estab(const IdSet& proposed) {
   if (!is_participant()) return false;
@@ -359,6 +423,7 @@ bool RecSA::participate() {
 // ---------------------------------------------------------------------------
 
 void RecSA::tick() {
+  ++state_version_;  // fd refresh + the cleanup loop write state directly
   fd_self_ = fd_supplier_();
   fd_self_.insert(self_);
 
@@ -518,25 +583,41 @@ void RecSA::broadcast() {
     mux_.clear_state_all(dlink::kPortRecSA);
     return;
   }
-  const IdSet part = part_set();
+  // Encoded field-by-field from references, byte-identical to
+  // RecSAMessage::encode(): the old per-peer message staging copied four
+  // sets per trusted peer on every do-forever iteration, which dominated
+  // the simulator's allocation profile.
+  bcast_scratch_.clear();
+  for (NodeId k : fd_self_) {
+    if (!config_of(k).is_non_participant()) bcast_scratch_.insert(k);
+  }
+  const ConfigValue& own_config = config_of(self_);
+  const Notification& own_prp = prp_of(self_);
+  const bool own_all = records_.at(self_).all;
   for (NodeId j : fd_self_) {
     if (j == self_) continue;
-    RecSAMessage msg;
-    msg.fd = fd_self_;
-    msg.part = part;
-    msg.config = config_of(self_);
-    msg.prp = prp_of(self_);
-    msg.all = records_.at(self_).all;
+    wire::Writer w;
+    w.id_set(fd_self_);
+    w.id_set(bcast_scratch_);
+    own_config.encode(w);
+    own_prp.encode(w);
+    w.boolean(own_all);
     auto it = records_.find(j);
     if (it != records_.end()) {
-      msg.echo = EchoView{it->second.part, it->second.prp, it->second.all};
+      // echo = what j last told us (its part/prp/all view).
+      w.id_set(it->second.part);
+      it->second.prp.encode(w);
+      w.boolean(it->second.all);
+    } else {
+      static const EchoView kEmptyEcho;
+      kEmptyEcho.encode(w);
     }
-    mux_.publish_state(dlink::kPortRecSA, j, msg.encode());
+    mux_.publish_state(dlink::kPortRecSA, j, w.take());
   }
   // Stop talking to processors we no longer trust.
-  for (NodeId peer : mux_.peers()) {
+  mux_.for_each_peer([&](NodeId peer) {
     if (!fd_self_.contains(peer)) mux_.clear_state(dlink::kPortRecSA, peer);
-  }
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -574,6 +655,7 @@ Notification random_ntf(Rng& rng, const IdSet& universe) {
 }  // namespace
 
 void RecSA::inject_corruption(Rng& rng, const IdSet& universe) {
+  ++state_version_;
   records_.clear();
   fd_self_ = random_subset(rng, universe);
   fd_self_.insert(self_);

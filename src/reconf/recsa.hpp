@@ -83,6 +83,10 @@ class RecSA {
   /// getConfig(): the agreed configuration; during quiet periods the chosen
   /// common value, otherwise the local view (possibly ⊥ or ]).
   ConfigValue get_config() const;
+  /// Allocation-free variant for the per-tick hot paths: the reference
+  /// aliases a peer record (or a static ⊥) and is invalidated by the next
+  /// message or tick — copy it if it must survive one.
+  const ConfigValue& get_config_ref() const;
   /// noReco(): true iff no reconfiguration (brute-force or delicate) is in
   /// progress and the participant views are stable. (Paper polarity:
   /// "returns True if a reconfiguration is not taking place".)
@@ -156,6 +160,7 @@ class RecSA {
   IdSet part_set() const;
   Notification max_ntf() const;                 // maxNtf()
   ConfigValue chs_config() const;               // chsConfig()
+  const ConfigValue& chs_config_ref() const;    // allocation-free chsConfig()
   bool echo_no_all(NodeId k, const IdSet& part) const;
   bool same_strict(NodeId k, const IdSet& part) const;
   bool one_ahead(NodeId k, const IdSet& part) const;
@@ -177,6 +182,27 @@ class RecSA {
   IdSet fd_self_;  // FD[i] — refreshed at each tick
   std::map<NodeId, PeerRecord> records_;  // includes own record (entry i)
   IdSet all_seen_;                        // allSeen
+  /// Scratch for no_reco()'s participant set (rebuilt per call; capacity
+  /// sticks so the per-tick legality check never allocates).
+  mutable IdSet part_scratch_;
+  /// Scratch for broadcast()'s participant set (kept separate: no_reco()
+  /// may run while a broadcast-encoded set is still referenced).
+  IdSet bcast_scratch_;
+
+  // -- Derived-view memoization ----------------------------------------------
+  // no_reco() and chs_config_ref() are pure functions of (records_,
+  // fd_self_) but every subsystem re-evaluates them on every do-forever
+  // tick. `state_version_` is bumped by every mutation path (record(),
+  // tick(), config_set(), inject_corruption()); the caches recompute on a
+  // version mismatch, so results are always identical to the uncached
+  // evaluation — over-bumping merely costs a recompute.
+  std::uint64_t state_version_ = 0;
+  mutable std::uint64_t no_reco_version_ = ~0ULL;
+  mutable bool no_reco_value_ = false;
+  mutable std::uint64_t chs_version_ = ~0ULL;
+  mutable const ConfigValue* chs_value_ = nullptr;
+
+  bool compute_no_reco() const;
 
   RecSAStats stats_;
   std::vector<std::function<void(const ConfigValue&)>> on_config_change_;

@@ -57,6 +57,7 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec, std::uint64_t seed)
   if (spec_.exhaust_bound != 0) {
     cfg.node.counter.exhaust_bound = spec_.exhaust_bound;
   }
+  pool_at_start_ = wire::BufferPool::local().stats();
   world_ = std::make_unique<harness::World>(cfg);
   injector_ =
       std::make_unique<harness::FaultInjector>(*world_, seed ^ 0xFA417ULL);
@@ -111,6 +112,9 @@ ScenarioResult ScenarioRunner::run() {
   r.trace_events = trace_.events().size();
   r.sim_time = world_->scheduler().now();
   r.sched_events = world_->scheduler().events_executed();
+  const wire::BufferPool::Stats& pool = wire::BufferPool::local().stats();
+  r.pool_acquired = pool.acquired - pool_at_start_.acquired;
+  r.pool_reused = pool.reused - pool_at_start_.reused;
   world_->network().for_each_channel(
       [&r](NodeId, NodeId, net::Channel& ch) {
         r.packets_sent += ch.stats().sent;

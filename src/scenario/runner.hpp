@@ -27,6 +27,11 @@ struct ScenarioResult {
   /// Fabric totals summed over every channel at the end of the run.
   std::uint64_t packets_sent = 0;
   std::uint64_t packets_delivered = 0;
+  /// wire::BufferPool activity during the run (deltas of the thread pool):
+  /// acquired = payload buffers requested, reused = served from the
+  /// freelist. reused/acquired ≈ 1 is the zero-allocation steady state.
+  std::uint64_t pool_acquired = 0;
+  std::uint64_t pool_reused = 0;
   std::vector<InvariantRegistry::Violation> violations;
 
   std::string summary() const;
@@ -80,6 +85,8 @@ class ScenarioRunner {
 
   ScenarioSpec spec_;
   std::uint64_t seed_;
+  /// Buffer-pool counters at construction, for per-run deltas.
+  wire::BufferPool::Stats pool_at_start_;
   std::unique_ptr<harness::World> world_;
   std::unique_ptr<harness::FaultInjector> injector_;
   TraceRecorder trace_;

@@ -90,7 +90,7 @@ void RegisterService::serve_write(NodeId from, std::uint32_t op,
 
 bool RegisterService::start_op(const std::string& name) {
   if (busy()) return false;
-  const reconf::ConfigValue cur = recsa_.get_config();
+  const reconf::ConfigValue& cur = recsa_.get_config_ref();
   if (!recsa_.no_reco() || !cur.is_proper()) return false;
   name_ = name;
   members_ = cur.ids();

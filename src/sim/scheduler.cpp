@@ -4,44 +4,159 @@
 
 namespace ssr::sim {
 
+void Scheduler::reserve(std::size_t events) {
+  slots_.reserve(events);
+  heap_.reserve(events);
+  staged_.reserve(64);
+}
+
+std::uint32_t Scheduler::alloc_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNoSlot;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Scheduler::free_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  // Bumping the generation retires every outstanding {slot, gen} handle and
+  // turns the slot's heap entry into a tombstone in one store.
+  ++s.gen;
+  s.kind = Kind::kFree;
+  s.sink = nullptr;
+  if (s.payload.capacity() != 0) {
+    pool_.release(std::move(s.payload));
+    s.payload = wire::Bytes();
+  }
+  if (s.fn) s.fn = nullptr;
+  s.next_free = free_head_;
+  free_head_ = slot;
+  --live_;
+}
+
+void Scheduler::heap_push(const HeapEntry& e) const {
+  std::size_t i = heap_.size();
+  heap_.resize(i + 1);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];  // move the hole up
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Scheduler::heap_pop() const {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t m = first;
+    const std::size_t end = first + 4 < n ? first + 4 : n;
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (earlier(heap_[c], heap_[m])) m = c;
+    }
+    if (!earlier(heap_[m], last)) break;
+    heap_[i] = heap_[m];  // move the hole down
+    i = m;
+  }
+  heap_[i] = last;
+}
+
+Scheduler::Handle Scheduler::push_event(SimTime when, std::uint32_t slot) {
+  HeapEntry e{when, next_seq_++, slot, slots_[slot].gen};
+  ++live_;
+  if (in_step_) {
+    staged_.push_back(e);
+  } else {
+    heap_push(e);
+  }
+  return Handle(this, slot, e.gen);
+}
+
 Scheduler::Handle Scheduler::schedule_after(SimTime delay, Action action) {
   return schedule_at(now_ + delay, std::move(action));
 }
 
 Scheduler::Handle Scheduler::schedule_at(SimTime when, Action action) {
   SSR_ASSERT(when >= now_, "cannot schedule into the past");
-  Event ev;
-  ev.when = when;
-  ev.seq = next_seq_++;
-  ev.action = std::move(action);
-  ev.alive = std::make_shared<bool>(true);
-  Handle h(ev.alive);
-  queue_.push(std::move(ev));
-  return h;
+  const std::uint32_t slot = alloc_slot();
+  Slot& s = slots_[slot];
+  s.kind = Kind::kClosure;
+  s.fn = std::move(action);
+  return push_event(when, slot);
 }
 
-bool Scheduler::step(SimTime deadline) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.when > deadline) return false;
-    // Copy out before popping; the action may schedule new events.
-    Event ev = top;
-    queue_.pop();
-    if (!*ev.alive) continue;  // cancelled
-    now_ = ev.when;
-    *ev.alive = false;
-    ++executed_;
-    ev.action();
-    return true;
-  }
-  return false;
+Scheduler::Handle Scheduler::schedule_packet_after(SimTime delay,
+                                                   PacketSink* sink,
+                                                   wire::Bytes payload) {
+  const std::uint32_t slot = alloc_slot();
+  Slot& s = slots_[slot];
+  s.kind = Kind::kPacket;
+  s.sink = sink;
+  s.payload = std::move(payload);
+  return push_event(now_ + delay, slot);
+}
+
+void Scheduler::cancel_event(std::uint32_t slot, std::uint32_t gen) {
+  if (slot >= slots_.size() || slots_[slot].gen != gen) return;  // stale
+  free_slot(slot);
+}
+
+bool Scheduler::event_pending(std::uint32_t slot, std::uint32_t gen) const {
+  return slot < slots_.size() && slots_[slot].gen == gen;
+}
+
+void Scheduler::flush_staged() const {
+  for (const HeapEntry& e : staged_) heap_push(e);
+  staged_.clear();
 }
 
 void Scheduler::drop_tombstones() const {
-  // Popping the cancelled prefix is sufficient for an exact emptiness test:
-  // if the new top is live the queue is non-empty regardless of tombstones
+  // Popping the stale prefix is sufficient for an exact emptiness test: if
+  // the new top is live the heap is non-empty regardless of tombstones
   // buried behind it.
-  while (!queue_.empty() && !*queue_.top().alive) queue_.pop();
+  while (!heap_.empty() && !entry_live(heap_.front())) heap_pop();
+}
+
+bool Scheduler::step(SimTime deadline) {
+  flush_staged();
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.front();
+    if (top.when > deadline) return false;
+    heap_pop();
+    if (!entry_live(top)) continue;  // cancelled
+    now_ = top.when;
+    ++executed_;
+    Slot& s = slots_[top.slot];
+    // Move the work out and free the slot *before* executing, mirroring the
+    // old `*alive = false` semantics: while the action runs its own handle
+    // is no longer pending, and rescheduling may reuse the slot safely.
+    in_step_ = true;
+    if (s.kind == Kind::kPacket) {
+      PacketSink* sink = s.sink;
+      wire::Bytes payload = std::move(s.payload);
+      s.payload = wire::Bytes();
+      free_slot(top.slot);
+      sink->deliver_packet(std::move(payload));
+    } else {
+      Action fn = std::move(s.fn);
+      s.fn = nullptr;
+      free_slot(top.slot);
+      fn();
+    }
+    in_step_ = false;
+    return true;
+  }
+  return false;
 }
 
 std::uint64_t Scheduler::run_until(SimTime deadline) {

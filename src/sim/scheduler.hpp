@@ -2,43 +2,69 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
 #include "util/types.hpp"
+#include "wire/wire.hpp"
 
 namespace ssr::sim {
+
+/// Destination of a typed packet event (the scheduler's fast path).
+/// Channels implement this so steady-state packet traffic never builds a
+/// closure: the event record is just {sink, pooled payload}.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  /// The scheduled packet came due. Called after the event's slot has been
+  /// freed, so scheduling (even into the same slot) is safe from inside.
+  /// The sink owns `payload` and is expected to release it back to
+  /// wire::BufferPool::local() once the packet dies.
+  virtual void deliver_packet(wire::Bytes&& payload) = 0;
+};
 
 /// Discrete-event scheduler implementing the paper's interleaving model
 /// (Section 2): at most one step executes at any moment; a step is triggered
 /// either by a packet arrival or by a periodic timer whose rate is unknown
 /// to the algorithms. Virtual time is microseconds.
+///
+/// Events live in a slab of pooled slots addressed by {slot, generation}
+/// handles and ordered by a 4-ary min-heap of 24-byte POD entries
+/// keyed on the same (when, seq) pair as the original priority_queue — so
+/// execution order, FIFO tie-breaks and therefore every RNG draw are
+/// unchanged, while the steady-state hot path performs zero heap
+/// allocations: no per-event std::function, no shared_ptr tombstone, and no
+/// copy-out of the top event. Cancellation is O(1) (a generation bump frees
+/// the slot; the stale heap entry is dropped lazily when it surfaces).
 class Scheduler {
  public:
   using Action = std::function<void()>;
 
   /// Handle used to cancel a scheduled event (e.g., timers of a crashed
-  /// node). Cancellation is O(1): the event is tombstoned and skipped.
+  /// node). Cancellation and pending checks are O(1) generation compares;
+  /// both are idempotent and safe after the event fired, was cancelled, or
+  /// its slot was reused (the generation no longer matches). A handle must
+  /// not outlive the scheduler it came from.
   class Handle {
    public:
     Handle() = default;
     void cancel() const {
-      if (auto p = alive_.lock()) *p = false;
+      if (sched_ != nullptr) sched_->cancel_event(slot_, gen_);
     }
     bool pending() const {
-      auto p = alive_.lock();
-      return p && *p;
+      return sched_ != nullptr && sched_->event_pending(slot_, gen_);
     }
-    /// Liveness token, shared with the scheduled event. Transports wrap it
-    /// in their own handle type so cancelling through either sets the same
-    /// tombstone (and quiescence detection stays exact).
-    std::weak_ptr<bool> token() const { return alive_; }
+    /// Raw slot/generation pair, for transports that wrap scheduler events
+    /// in their own handle type (see net::TimerHandle).
+    std::uint32_t slot() const { return slot_; }
+    std::uint32_t generation() const { return gen_; }
 
    private:
     friend class Scheduler;
-    explicit Handle(std::weak_ptr<bool> alive) : alive_(std::move(alive)) {}
-    std::weak_ptr<bool> alive_;
+    Handle(Scheduler* sched, std::uint32_t slot, std::uint32_t gen)
+        : sched_(sched), slot_(slot), gen_(gen) {}
+    Scheduler* sched_ = nullptr;
+    std::uint32_t slot_ = 0;
+    std::uint32_t gen_ = 0;
   };
 
   SimTime now() const { return now_; }
@@ -47,6 +73,11 @@ class Scheduler {
   Handle schedule_after(SimTime delay, Action action);
   /// Schedules `action` at absolute time `when` (>= now).
   Handle schedule_at(SimTime when, Action action);
+  /// Fast path: schedules delivery of `payload` to `sink` without building
+  /// a closure. Consumes the same (when, seq) key as schedule_after, so the
+  /// two paths interleave exactly like two closure events would.
+  Handle schedule_packet_after(SimTime delay, PacketSink* sink,
+                               wire::Bytes payload);
 
   /// Runs events until the queue is empty or `deadline` is passed.
   /// Returns the number of events executed.
@@ -56,35 +87,93 @@ class Scheduler {
   /// Executes exactly one event if any is pending before `deadline`.
   bool step(SimTime deadline);
 
-  /// True when no *live* events remain. Cancelled (tombstoned) events are
-  /// lazily dropped from the front of the queue so quiescence detection is
-  /// exact: a queue holding only tombstones is empty.
+  /// True when no *live* events remain. Cancelled (tombstoned) entries are
+  /// lazily dropped from the front of the heap so quiescence detection is
+  /// exact: a heap holding only tombstones is empty.
   bool empty() const {
+    flush_staged();
     drop_tombstones();
-    return queue_.empty();
+    return heap_.empty();
   }
   std::uint64_t events_executed() const { return executed_; }
 
+  /// O(1) generation-compare primitives backing Handle and the transports'
+  /// TimerHandle. Both are no-ops / false when the pair is stale.
+  void cancel_event(std::uint32_t slot, std::uint32_t gen);
+  bool event_pending(std::uint32_t slot, std::uint32_t gen) const;
+
+  /// Pre-sizes the slab, heap and staging buffer (warm start for worlds
+  /// that know their steady-state event population).
+  void reserve(std::size_t events);
+
+  /// Slab footprint: slots ever allocated (live + pooled). Bounded by the
+  /// peak number of simultaneously pending events, not by traffic volume.
+  std::size_t slots_total() const { return slots_.size(); }
+  /// Currently scheduled (live) events.
+  std::size_t live_events() const { return live_; }
+
  private:
-  struct Event {
-    SimTime when = 0;
-    std::uint64_t seq = 0;  // FIFO tie-break at equal times → determinism
-    Action action;
-    std::shared_ptr<bool> alive;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+  enum class Kind : std::uint8_t { kFree = 0, kClosure, kPacket };
+
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  /// Pooled event record. `gen` is bumped every time the slot is freed, so
+  /// a {slot, gen} pair names one event incarnation forever.
+  struct Slot {
+    std::uint32_t gen = 0;
+    Kind kind = Kind::kFree;
+    std::uint32_t next_free = kNoSlot;
+    PacketSink* sink = nullptr;
+    wire::Bytes payload;  // packet events (pooled)
+    Action fn;            // closure events
   };
 
+  /// Heap entry: the full ordering key is inline so sifts never touch the
+  /// slab. (when, seq) reproduces the original priority_queue order; a
+  /// stale (slot, gen) pair marks a tombstone of a cancelled/freed event.
+  struct HeapEntry {
+    SimTime when = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
+  };
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  // 4-ary min-heap over heap_ (root at 0, children of i at 4i+1..4i+4):
+  // half the levels of a binary heap and cache-friendlier sift-downs. The
+  // extraction order is the total order (when, seq) — seq is unique — so
+  // the heap's internal shape cannot affect execution order or traces.
+  void heap_push(const HeapEntry& e) const;
+  void heap_pop() const;
+
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t slot);
+  Handle push_event(SimTime when, std::uint32_t slot);
+  bool entry_live(const HeapEntry& e) const {
+    return slots_[e.slot].gen == e.gen;
+  }
   void drop_tombstones() const;
+  /// Events scheduled while a step executes are staged and enter the heap
+  /// in one batch when the step completes (the ROADMAP "batch channel
+  /// delivery events" item): a protocol step that fans a frame out to k
+  /// peers performs one staged append per send and a single flush.
+  void flush_staged() const;
 
   SimTime now_ = 0;
+  /// The thread's buffer pool, resolved once (free_slot and the packet
+  /// path hit it per event; the TLS lookup is not free at that rate).
+  wire::BufferPool& pool_ = wire::BufferPool::local();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  mutable std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::size_t live_ = 0;
+  bool in_step_ = false;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+  mutable std::vector<HeapEntry> heap_;    // 4-ary min-heap (heap_push/pop)
+  mutable std::vector<HeapEntry> staged_;  // pending batch insert
 };
 
 }  // namespace ssr::sim

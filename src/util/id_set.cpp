@@ -15,17 +15,6 @@ IdSet IdSet::from_vector(std::vector<NodeId> ids) {
   return s;
 }
 
-bool IdSet::contains(NodeId id) const {
-  return std::binary_search(ids_.begin(), ids_.end(), id);
-}
-
-bool IdSet::insert(NodeId id) {
-  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
-  if (it != ids_.end() && *it == id) return false;
-  ids_.insert(it, id);
-  return true;
-}
-
 bool IdSet::erase(NodeId id) {
   auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
   if (it == ids_.end() || *it != id) return false;

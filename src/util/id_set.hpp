@@ -24,9 +24,31 @@ class IdSet {
   /// Builds from an arbitrary (possibly unsorted, duplicated) vector.
   static IdSet from_vector(std::vector<NodeId> ids);
 
-  bool contains(NodeId id) const;
-  /// Inserts `id`; returns true if it was not already present.
-  bool insert(NodeId id);
+  /// Defined inline: membership tests run tens of millions of times per
+  /// scenario. Sets are small (participants/configurations), so a linear
+  /// scan with early exit beats binary search below ~32 elements.
+  bool contains(NodeId id) const {
+    if (ids_.size() <= 32) {
+      for (NodeId v : ids_) {
+        if (v >= id) return v == id;
+      }
+      return false;
+    }
+    return std::binary_search(ids_.begin(), ids_.end(), id);
+  }
+  /// Inserts `id`; returns true if it was not already present. Inline for
+  /// the same reason as contains(); appends (the common case — callers
+  /// insert in ascending order) avoid the general shift path.
+  bool insert(NodeId id) {
+    if (ids_.empty() || ids_.back() < id) {
+      ids_.push_back(id);
+      return true;
+    }
+    auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+    if (it != ids_.end() && *it == id) return false;
+    ids_.insert(it, id);
+    return true;
+  }
   /// Removes `id`; returns true if it was present.
   bool erase(NodeId id);
   void clear() { ids_.clear(); }

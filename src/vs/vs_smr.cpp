@@ -126,7 +126,7 @@ void VsSmr::tick() {
     mux_.clear_state_all(dlink::kPortVS);
     return;
   }
-  const reconf::ConfigValue cur = recsa_.get_config();  // line 5
+  const reconf::ConfigValue& cur = recsa_.get_config_ref();  // line 5
   const IdSet part = recsa_.participants();
 
   // Crash cleanup: drop records of processors we no longer trust.
@@ -264,7 +264,7 @@ void VsSmr::coordinator_step(const IdSet& part) {
       if (!aligned_view) return;
       // Suspension bookkeeping (lines 12–14): hold rounds once every view
       // member acknowledged the suspension.
-      const reconf::ConfigValue cur = recsa_.get_config();
+      const reconf::ConfigValue& cur = recsa_.get_config_ref();
       const bool want =
           (cur.is_proper() && eval_(cur.ids())) || !recsa_.no_reco();
       if (want && !mine_.suspend) ++stats_.suspensions;
@@ -402,7 +402,7 @@ void VsSmr::emit_round(const View& v, std::uint64_t rnd,
 bool VsSmr::need_delicate_reconf() const {
   if (!reconf_ready_ || valid_crd_ != self_) return false;
   if (mine_.status != Status::kMulticast) return false;
-  const reconf::ConfigValue cur = recsa_.get_config();
+  const reconf::ConfigValue& cur = recsa_.get_config_ref();
   return cur.is_proper() && eval_(cur.ids());
 }
 
@@ -423,11 +423,11 @@ void VsSmr::broadcast(const IdSet& part, const IdSet& seem) {
     if (!recsa_.trusted().contains(j)) continue;
     mux_.publish_state(dlink::kPortVS, j, encoded);
   }
-  for (NodeId peer : mux_.peers()) {
+  mux_.for_each_peer([&](NodeId peer) {
     if (!send_set.contains(peer) || !recsa_.trusted().contains(peer)) {
       mux_.clear_state(dlink::kPortVS, peer);
     }
-  }
+  });
 }
 
 }  // namespace ssr::vs

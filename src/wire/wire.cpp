@@ -2,26 +2,75 @@
 
 namespace ssr::wire {
 
+BufferPool& BufferPool::local() {
+  thread_local BufferPool pool;
+  return pool;
+}
+
+Bytes BufferPool::acquire() {
+  ++stats_.acquired;
+  if (free_.empty()) return {};
+  ++stats_.reused;
+  Bytes b = std::move(free_.back());
+  free_.pop_back();
+  return b;
+}
+
+void BufferPool::release(Bytes&& b) {
+  if (b.capacity() == 0 || b.capacity() > kMaxRetainedCapacity ||
+      free_.size() >= kMaxPooled) {
+    ++stats_.dropped;
+    return;  // let it free normally
+  }
+  ++stats_.released;
+  b.clear();
+  free_.push_back(std::move(b));
+}
+
 void Writer::u8(std::uint8_t v) { out_.push_back(v); }
 
+// Multi-byte little-endian fields grow the buffer once and store through a
+// raw pointer: one capacity check per field instead of one per byte (these
+// run per field of every frame the simulator moves).
+
 void Writer::u16(std::uint16_t v) {
-  out_.push_back(static_cast<std::uint8_t>(v));
-  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  const std::size_t n = out_.size();
+  out_.resize(n + 2);
+  std::uint8_t* p = out_.data() + n;
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
 }
 
 void Writer::u32(std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  const std::size_t n = out_.size();
+  out_.resize(n + 4);
+  std::uint8_t* p = out_.data() + n;
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
 }
 
 void Writer::u64(std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  const std::size_t n = out_.size();
+  out_.resize(n + 8);
+  std::uint8_t* p = out_.data() + n;
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
 }
 
 void Writer::boolean(bool v) { u8(v ? 1 : 0); }
 
 void Writer::id_set(const IdSet& s) {
-  u16(static_cast<std::uint16_t>(s.size()));
-  for (NodeId id : s) node_id(id);
+  // One growth for the whole set: id sets ride in every protocol
+  // broadcast, so the per-field resize adds up.
+  const std::size_t count = s.size();
+  const std::size_t n = out_.size();
+  out_.resize(n + 2 + 4 * count);
+  std::uint8_t* p = out_.data() + n;
+  *p++ = static_cast<std::uint8_t>(count);
+  *p++ = static_cast<std::uint8_t>(count >> 8);
+  for (NodeId id : s) {
+    for (int i = 0; i < 4; ++i) {
+      *p++ = static_cast<std::uint8_t>(id >> (8 * i));
+    }
+  }
 }
 
 void Writer::bytes(const Bytes& b) {
@@ -95,8 +144,11 @@ Bytes Reader::bytes() {
     ok_ = false;
     return {};
   }
-  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  // Pooled so the per-frame payload slice on the decode path rides the
+  // same freelist as the encode/transport buffers.
+  Bytes out = BufferPool::local().acquire();
+  out.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
   pos_ += n;
   return out;
 }

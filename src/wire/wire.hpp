@@ -12,12 +12,70 @@ namespace ssr::wire {
 
 using Bytes = std::vector<std::uint8_t>;
 
+/// Freelist of payload buffers for the simulator/transport hot path.
+///
+/// Every protocol message lives in a `Bytes` vector that is born in a
+/// Writer, travels through a channel event, and dies right after delivery.
+/// Recycling those vectors through a thread-local freelist makes the
+/// steady-state packet path allocation-free: Writer::Writer() acquires,
+/// Channel/Network release after delivery (and on loss, overflow and
+/// cancellation), and the capacity sticks to the buffer across laps.
+///
+/// The pool is an optimization, never an owner: a buffer that is not
+/// released simply frees normally, and acquire() on an empty pool falls
+/// back to a fresh vector. Nothing behavioural depends on pool state —
+/// contents are only ever read inside [0, size()) and every acquired
+/// buffer starts at size 0 — so recycling cannot perturb the deterministic
+/// replay executions.
+class BufferPool {
+ public:
+  /// Buffers kept in the freelist; beyond this, release() just frees.
+  static constexpr std::size_t kMaxPooled = 1024;
+  /// Buffers with more capacity than this are not retained (a rare giant
+  /// message must not pin its footprint forever).
+  static constexpr std::size_t kMaxRetainedCapacity = 64 * 1024;
+
+  /// The calling thread's pool. The whole node stack is single-threaded
+  /// (simulator and UDP loop alike), so this is one pool per world/process
+  /// in practice.
+  static BufferPool& local();
+
+  /// An empty buffer, reusing a pooled allocation when one is available.
+  Bytes acquire();
+  /// Returns a buffer to the pool (cleared, capacity kept). Safe to call
+  /// with moved-from or capacity-less vectors; they are dropped.
+  void release(Bytes&& b);
+
+  struct Stats {
+    std::uint64_t acquired = 0;  ///< acquire() calls
+    std::uint64_t reused = 0;    ///< acquires served from the freelist
+    std::uint64_t released = 0;  ///< buffers accepted back
+    std::uint64_t dropped = 0;   ///< releases declined (full pool / giant)
+  };
+  const Stats& stats() const { return stats_; }
+
+  std::size_t size() const { return free_.size(); }
+
+ private:
+  std::vector<Bytes> free_;
+  Stats stats_;
+};
+
 /// Serializer producing the bounded wire format used by every protocol
 /// message. The format is explicit (little-endian fixed ints + length
 /// prefixes) so that messages have a provable size bound and byte-level
 /// fault injection exercises the same decode paths as real corruption.
+///
+/// The output buffer is acquired from the thread's BufferPool; take() hands
+/// it to the caller (who releases it back once the message dies) and an
+/// untaken buffer returns to the pool on destruction.
 class Writer {
  public:
+  Writer() : out_(BufferPool::local().acquire()) {}
+  ~Writer() { BufferPool::local().release(std::move(out_)); }
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
   /// Pre-allocates room for `n` more bytes. Hot encoders (frames, bundles,
   /// transport envelopes) know their size up front; reserving once replaces
   /// the per-field geometric growth of the output vector.

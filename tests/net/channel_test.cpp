@@ -113,6 +113,68 @@ TEST(Channel, FlushDropsInFlight) {
   EXPECT_EQ(delivered, 0u);
 }
 
+// in_flight() is a live count: it tracks schedule/deliver/cancel exactly
+// (no pending-handle scans — delivered packets leave the set as they fire).
+TEST(Channel, InFlightTracksDeliveriesAndFlush) {
+  sim::Scheduler sched;
+  auto cfg = reliable_config();
+  cfg.capacity = 8;
+  std::size_t delivered = 0;
+  Channel ch(sched, Rng(29), cfg, 1, 2, [&](Packet&) { ++delivered; });
+  for (int i = 0; i < 3; ++i) ch.send(wire::Bytes{std::uint8_t(i)});
+  EXPECT_EQ(ch.in_flight(), 3u);
+  sched.run_until(kSec);
+  EXPECT_EQ(delivered, 3u);
+  EXPECT_EQ(ch.in_flight(), 0u);
+  ch.send(wire::Bytes{9});
+  ch.send(wire::Bytes{10});
+  EXPECT_EQ(ch.in_flight(), 2u);
+  ch.flush();
+  EXPECT_EQ(ch.in_flight(), 0u);
+  EXPECT_TRUE(sched.empty());  // flush left only tombstones
+}
+
+// Overflow with victim omission keeps the live count exact: the victim's
+// event is cancelled and replaced by the new packet.
+TEST(Channel, OverflowKeepsLiveCountAtCapacity) {
+  sim::Scheduler sched;
+  auto cfg = reliable_config();
+  cfg.capacity = 3;
+  std::size_t delivered = 0;
+  Channel ch(sched, Rng(31), cfg, 1, 2, [&](Packet&) { ++delivered; });
+  for (int i = 0; i < 50; ++i) {
+    ch.send(wire::Bytes{std::uint8_t(i)});
+    EXPECT_LE(ch.in_flight(), 3u);
+  }
+  EXPECT_GT(ch.stats().overflowed, 0u);
+  sched.run_until(kSec);
+  EXPECT_EQ(ch.in_flight(), 0u);
+  EXPECT_EQ(delivered, ch.stats().delivered);
+  EXPECT_LE(delivered, 3u);
+}
+
+// Steady-state traffic recycles payload buffers through the wire pool: after
+// a warm-up lap, sends stop requesting fresh allocations.
+TEST(Channel, SteadyStateReusesPooledBuffers) {
+  sim::Scheduler sched;
+  std::size_t delivered = 0;
+  Channel ch(sched, Rng(37), reliable_config(), 1, 2,
+             [&](Packet&) { ++delivered; });
+  auto send_one = [&] {
+    wire::Writer w;
+    w.u64(0xABCDEF);
+    ch.send(w.take());
+    sched.run_until(sched.now() + kSec);
+  };
+  for (int i = 0; i < 4; ++i) send_one();  // warm the pool
+  const auto before = wire::BufferPool::local().stats();
+  for (int i = 0; i < 16; ++i) send_one();
+  const auto after = wire::BufferPool::local().stats();
+  EXPECT_EQ(after.acquired - before.acquired,
+            after.reused - before.reused);  // every acquire was a pool hit
+  EXPECT_EQ(delivered, 20u);
+}
+
 TEST(Channel, CorruptionFlipsBytes) {
   sim::Scheduler sched;
   auto cfg = reliable_config();

@@ -16,11 +16,20 @@ TEST_P(Replay, SameSeedSameTraceHash) {
   auto spec = find_scenario(GetParam());
   ASSERT_TRUE(spec.has_value());
   const ScenarioResult a = run_scenario(*spec, 97);
+  // Run `a` leaves the thread's buffer pool warm and the process allocator
+  // in a different state; run `b` must be byte-identical regardless —
+  // recycling is invisible to the execution.
   const ScenarioResult b = run_scenario(*spec, 97);
   EXPECT_TRUE(a.ok) << a.summary();
   EXPECT_EQ(a.trace_hash, b.trace_hash);
   EXPECT_EQ(a.trace_events, b.trace_events);
   EXPECT_EQ(a.sim_time, b.sim_time);
+  // The event stream itself is equal, not just the protocol trace: same
+  // scheduler event count and same buffer demand on both laps. (How many
+  // acquires the freelist can serve depends on pool temperature, so
+  // pool_reused is deliberately not compared — only the demand is pinned.)
+  EXPECT_EQ(a.sched_events, b.sched_events);
+  EXPECT_EQ(a.pool_acquired, b.pool_acquired);
 }
 
 TEST_P(Replay, DifferentSeedsDiverge) {

@@ -122,5 +122,141 @@ TEST(Scheduler, HandleOutlivingSchedulerEventIsSafe) {
   h.cancel();  // no-op, must not crash
 }
 
+// --- {slot, generation} handle scheme ---------------------------------------
+
+// Cancelling after the event fired must be a no-op even when the slot has
+// been reused by a *new* live event: the stale generation must not kill the
+// newcomer.
+TEST(Scheduler, CancelAfterFireDoesNotKillSlotReuse) {
+  Scheduler s;
+  int first = 0;
+  auto h1 = s.schedule_at(5, [&] { ++first; });
+  s.run_until(10);
+  EXPECT_EQ(first, 1);
+  EXPECT_FALSE(h1.pending());
+  // The freed slot is at the head of the freelist: the next event reuses it.
+  int second = 0;
+  auto h2 = s.schedule_at(20, [&] { ++second; });
+  EXPECT_EQ(h2.slot(), h1.slot());  // reuse confirmed
+  EXPECT_NE(h2.generation(), h1.generation());
+  h1.cancel();  // stale generation — must not cancel the new event
+  EXPECT_TRUE(h2.pending());
+  s.run_until(30);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(Scheduler, DoubleCancelIsIdempotentAcrossSlotReuse) {
+  Scheduler s;
+  int fired = 0;
+  auto h1 = s.schedule_at(10, [&] { ++fired; });
+  h1.cancel();
+  h1.cancel();  // second cancel: no-op, must not double-free the slot
+  auto h2 = s.schedule_at(15, [&] { ++fired; });
+  EXPECT_EQ(h2.slot(), h1.slot());
+  h1.cancel();  // still stale — the reused slot stays live
+  EXPECT_TRUE(h2.pending());
+  s.run_until(100);
+  EXPECT_EQ(fired, 1);
+}
+
+// A handle that outlives several reuse laps of its slot keeps reading as
+// not-pending (generation mismatch), never as the current occupant.
+TEST(Scheduler, StaleHandleSurvivesManyReuseLaps) {
+  Scheduler s;
+  auto stale = s.schedule_at(1, [] {});
+  s.run_until(2);
+  for (int lap = 0; lap < 100; ++lap) {
+    auto h = s.schedule_after(1, [] {});
+    EXPECT_FALSE(stale.pending());
+    if (lap % 2 == 0) h.cancel();
+    s.run_for(2);
+  }
+  EXPECT_FALSE(stale.pending());
+  stale.cancel();
+  EXPECT_TRUE(s.empty());
+}
+
+// Slot reuse keeps the slab bounded by the peak live population, not by
+// traffic volume: a send/deliver loop must not grow the slab.
+TEST(Scheduler, SlabBoundedByPeakLiveEvents) {
+  Scheduler s;
+  for (int i = 0; i < 1000; ++i) {
+    s.schedule_after(1, [] {});
+    s.run_for(2);
+  }
+  EXPECT_LE(s.slots_total(), 4u);
+  EXPECT_EQ(s.live_events(), 0u);
+}
+
+// Typed packet events interleave with closure events in exact (when, seq)
+// order — the fast path must not reorder against the general path.
+TEST(Scheduler, PacketEventsInterleaveWithClosuresInSeqOrder) {
+  struct Recorder final : PacketSink {
+    std::vector<int>* order;
+    void deliver_packet(wire::Bytes&& payload) override {
+      order->push_back(static_cast<int>(payload[0]));
+      wire::BufferPool::local().release(std::move(payload));
+    }
+  };
+  Scheduler s;
+  std::vector<int> order;
+  Recorder sink;
+  sink.order = &order;
+  s.schedule_packet_after(7, &sink, wire::Bytes{1});
+  s.schedule_at(7, [&] { order.push_back(2); });
+  s.schedule_packet_after(7, &sink, wire::Bytes{3});
+  s.run_until(10);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.events_executed(), 3u);
+}
+
+TEST(Scheduler, CancelledPacketEventDoesNotDeliver) {
+  struct Counter final : PacketSink {
+    int delivered = 0;
+    void deliver_packet(wire::Bytes&& payload) override {
+      ++delivered;
+      wire::BufferPool::local().release(std::move(payload));
+    }
+  };
+  Scheduler s;
+  Counter sink;
+  auto h = s.schedule_packet_after(5, &sink, wire::Bytes{42});
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(s.empty());  // tombstone only — quiescence is exact
+  s.run_until(100);
+  EXPECT_EQ(sink.delivered, 0);
+}
+
+// Events scheduled from inside an executing event (the staged batch path)
+// run at their proper times and orders.
+TEST(Scheduler, EventsStagedDuringStepRunInOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(10, [&] {
+    order.push_back(0);
+    s.schedule_after(0, [&] { order.push_back(1); });  // same time, later seq
+    s.schedule_after(5, [&] { order.push_back(3); });
+    s.schedule_after(1, [&] { order.push_back(2); });
+  });
+  s.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+// Cancelling an event that is still in the staged batch (scheduled by the
+// currently executing event) must work like any other cancel.
+TEST(Scheduler, CancelOfStagedEventHolds) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(10, [&] {
+    auto h = s.schedule_after(5, [&] { ++fired; });
+    h.cancel();
+  });
+  s.run_until(100);
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(s.empty());
+}
+
 }  // namespace
 }  // namespace ssr::sim

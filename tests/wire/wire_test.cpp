@@ -115,5 +115,59 @@ TEST(Wire, RandomGarbageNeverCrashes) {
   SUCCEED();
 }
 
+// --- BufferPool -------------------------------------------------------------
+
+TEST(BufferPool, RecyclesCapacity) {
+  BufferPool& pool = BufferPool::local();
+  Bytes b = pool.acquire();
+  b.reserve(512);
+  const auto* data = b.data();
+  pool.release(std::move(b));
+  // LIFO freelist: the very next acquire returns the same allocation,
+  // cleared but with capacity intact.
+  Bytes again = pool.acquire();
+  EXPECT_EQ(again.data(), data);
+  EXPECT_TRUE(again.empty());
+  EXPECT_GE(again.capacity(), 512u);
+  pool.release(std::move(again));
+}
+
+TEST(BufferPool, DropsCapacityLessAndGiantBuffers) {
+  BufferPool& pool = BufferPool::local();
+  const auto before = pool.stats();
+  pool.release(Bytes{});  // nothing to keep
+  Bytes giant;
+  giant.reserve(BufferPool::kMaxRetainedCapacity + 1);
+  pool.release(std::move(giant));
+  const auto after = pool.stats();
+  EXPECT_EQ(after.dropped - before.dropped, 2u);
+  EXPECT_EQ(after.released - before.released, 0u);
+}
+
+TEST(BufferPool, WriterTakeHandsBufferToCaller) {
+  BufferPool& pool = BufferPool::local();
+  Bytes taken;
+  {
+    Writer w;
+    w.u32(0xFEEDFACE);
+    taken = w.take();
+  }  // dtor releases only the moved-from shell (dropped, not pooled)
+  ASSERT_EQ(taken.size(), 4u);
+  const auto before = pool.stats();
+  pool.release(std::move(taken));
+  EXPECT_EQ(pool.stats().released - before.released, 1u);
+}
+
+// An untaken Writer returns its buffer to the pool on destruction.
+TEST(BufferPool, AbandonedWriterReturnsBuffer) {
+  BufferPool& pool = BufferPool::local();
+  const auto before = pool.stats();
+  {
+    Writer w;
+    w.u64(42);  // forces a real allocation into the buffer
+  }
+  EXPECT_EQ(pool.stats().released - before.released, 1u);
+}
+
 }  // namespace
 }  // namespace ssr::wire

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_scenarios.json files (baseline vs. candidate).
+
+Prints a per-scenario table of events/sec with the speedup factor, and exits
+nonzero when --max-regress is given and any scenario slowed down by more
+than that factor (e.g. --max-regress 2.0 fails on a 2x slowdown). Without
+the flag the comparison is informational, which is the right default for
+shared CI runners whose absolute timings wobble.
+
+Usage:
+  tools/bench_compare.py BENCH_scenarios.json build/BENCH_scenarios.json
+  tools/bench_compare.py --max-regress 2.0 baseline.json candidate.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {s["name"]: s for s in doc.get("scenarios", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument(
+        "--max-regress",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="fail when events/sec drops by more than FACTOR on any scenario",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    rows = []
+    failed = []
+    for name in sorted(set(base) | set(cand)):
+        b = base.get(name)
+        c = cand.get(name)
+        if b is None or c is None:
+            rows.append((name, b, c, None))
+            continue
+        b_eps = b.get("events_per_sec", 0.0)
+        c_eps = c.get("events_per_sec", 0.0)
+        speedup = c_eps / b_eps if b_eps > 0 else float("inf")
+        rows.append((name, b_eps, c_eps, speedup))
+        if args.max_regress is not None and speedup < 1.0 / args.max_regress:
+            failed.append((name, speedup))
+
+    print(f"{'scenario':<28} {'baseline ev/s':>14} {'candidate ev/s':>15} {'speedup':>8}")
+    for name, b, c, speedup in rows:
+        if speedup is None:
+            side = "baseline" if c is None else "candidate"
+            print(f"{name:<28} {'—':>14} {'—':>15}   (missing in {side})")
+        else:
+            print(f"{name:<28} {b:>14,.0f} {c:>15,.0f} {speedup:>7.2f}x")
+
+    if failed:
+        for name, speedup in failed:
+            print(
+                f"REGRESSION: {name} at {speedup:.2f}x of baseline "
+                f"(threshold {1.0 / args.max_regress:.2f}x)",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
