@@ -22,6 +22,12 @@ class ConfigHistoryMonitor {
   void attach(World& world);
   void attach_node(World& world, NodeId id);
 
+  /// Direct feed for world-less observers (the process backend records
+  /// changes it samples over the control socket).
+  void record(SimTime when, NodeId node, reconf::ConfigValue config) {
+    events_.push_back(Event{when, node, std::move(config)});
+  }
+
   const std::vector<Event>& events() const { return events_; }
   std::size_t events_since(SimTime t) const;
   void clear() { events_.clear(); }

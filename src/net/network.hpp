@@ -61,10 +61,19 @@ class Network {
   void block_pair(NodeId a, NodeId b);
   /// Blocks every pair with one endpoint in `a` and the other in `b`.
   void split(const IdSet& a, const IdSet& b);
-  /// Removes every block.
+  /// Cuts `id` off from everyone — the fabric analog of SIGSTOP (a stopped
+  /// process neither sends nor acknowledges; from the outside it is simply
+  /// unreachable). Isolation is tracked separately from partitions: heal()
+  /// does not resume a paused node, and rejoin() does not touch partition
+  /// blocks — exactly like signals vs. peer filters on the process backend.
+  void isolate(NodeId id) { isolated_.insert(id); }
+  /// The isolate() inverse; any split()-created partition stays in place.
+  void rejoin(NodeId id) { isolated_.erase(id); }
+  /// Removes every partition block (isolated nodes stay isolated).
   void heal();
   bool blocked(NodeId src, NodeId dst) const {
-    return blocked_.count({src, dst}) != 0;
+    return isolated_.count(src) != 0 || isolated_.count(dst) != 0 ||
+           blocked_.count({src, dst}) != 0;
   }
   std::uint64_t packets_blocked() const { return packets_blocked_; }
 
@@ -101,6 +110,7 @@ class Network {
   std::unordered_map<std::uint64_t, Channel*> channel_index_;
   std::map<NodeId, std::unique_ptr<LoopbackSink>> loopbacks_;
   std::set<std::pair<NodeId, NodeId>> blocked_;
+  std::set<NodeId> isolated_;
   std::uint64_t packets_blocked_ = 0;
 };
 

@@ -13,17 +13,11 @@
 #include <utility>
 
 #include "util/assert.hpp"
+#include "util/wallclock.hpp"
 #include "wire/wire.hpp"
 
 namespace ssr::net {
 namespace {
-
-std::uint64_t steady_usec() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
 
 std::vector<std::uint8_t> resolve(const UdpEndpoint& ep) {
   sockaddr_in addr{};
@@ -124,6 +118,11 @@ void UdpTransport::attach(NodeId id, Handler handler) {
 }
 
 void UdpTransport::send(NodeId src, NodeId dst, wire::Bytes payload) {
+  if (blocked_.contains(dst)) {
+    ++stats_.filtered_out;
+    wire::BufferPool::local().release(std::move(payload));
+    return;
+  }
   auto it = addrs_.find(dst);
   if (it == addrs_.end()) {
     // No route — indistinguishable from a crashed destination; the
@@ -216,13 +215,34 @@ void UdpTransport::run_for(SimTime duration) {
 bool UdpTransport::drain_socket() {
   bool any = false;
   for (;;) {
-    const ssize_t n = ::recvfrom(fd_, rx_buf_.data(), rx_buf_.size(), 0,
-                                 nullptr, nullptr);
+    sockaddr_in from{};
+    socklen_t from_len = sizeof(from);
+    const ssize_t n =
+        ::recvfrom(fd_, rx_buf_.data(), rx_buf_.size(), 0,
+                   reinterpret_cast<sockaddr*>(&from), &from_len);
     if (n < 0) break;  // EAGAIN — drained (other errors: drop and retry next poll)
     any = true;
     auto pkt = decode_envelope(rx_buf_.data(), static_cast<std::size_t>(n));
     if (!pkt) {
       ++stats_.dropped_malformed;
+      continue;
+    }
+    if (cfg_.learn_peers && pkt->src != cfg_.self &&
+        from_len == sizeof(from)) {
+      // A well-formed envelope vouches for its source id; remember where it
+      // actually came from so replies route even when the address book only
+      // had a port-0 placeholder (or a stale port from before a respawn).
+      std::vector<std::uint8_t>& known = addrs_[pkt->src];
+      if (known.size() != sizeof(from) ||
+          std::memcmp(known.data(), &from, sizeof(from)) != 0) {
+        known.assign(reinterpret_cast<const std::uint8_t*>(&from),
+                     reinterpret_cast<const std::uint8_t*>(&from) +
+                         sizeof(from));
+      }
+    }
+    if (blocked_.contains(pkt->src)) {
+      ++stats_.filtered_in;
+      wire::BufferPool::local().release(std::move(pkt->payload));
       continue;
     }
     auto h = handlers_.find(pkt->dst);

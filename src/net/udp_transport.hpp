@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "net/transport.hpp"
+#include "util/id_set.hpp"
 
 namespace ssr::net {
 
@@ -27,6 +28,11 @@ struct UdpTransportConfig {
   /// Receive buffer size; datagrams longer than this are truncated by the
   /// socket and then dropped as malformed.
   std::size_t max_datagram = 64 * 1024;
+  /// Learn/refresh peer addresses from the source address of well-formed
+  /// incoming datagrams. This lets a cohort that bound port 0 find each
+  /// other from any one seed direction, and re-resolves a peer that
+  /// respawned on a new port — no static address book maintenance.
+  bool learn_peers = true;
 };
 
 /// Transport over non-blocking UDP sockets with a poll-based event loop and
@@ -70,8 +76,20 @@ class UdpTransport final : public Transport {
   // -- Address book ----------------------------------------------------------
   /// Adds or rebinds a peer address (late binding for port-0 test setups).
   void set_peer(NodeId id, const UdpEndpoint& ep);
+  /// True when a route to `id` is known (configured, set_peer, or learned).
+  bool has_peer(NodeId id) const { return addrs_.count(id) != 0; }
   /// The actually bound local port (resolves port 0 at construction).
   std::uint16_t local_port() const { return local_port_; }
+  const UdpTransportConfig& config() const { return cfg_; }
+
+  // -- Dynamic peer filter ---------------------------------------------------
+  /// Blocks traffic with these peers in both directions: outgoing datagrams
+  /// toward them are not sent and incoming ones from them are dropped after
+  /// decode. This is the per-node half of a network partition — the process
+  /// scenario backend installs complementary filters over the control
+  /// socket to cut a cohort in two without touching routing tables.
+  void set_blocked(IdSet blocked) { blocked_ = std::move(blocked); }
+  const IdSet& blocked() const { return blocked_; }
 
   struct Stats {
     std::uint64_t sent = 0;
@@ -79,6 +97,8 @@ class UdpTransport final : public Transport {
     std::uint64_t received = 0;
     std::uint64_t dropped_malformed = 0;  // bad magic/version/encoding
     std::uint64_t dropped_unattached = 0;  // well-formed, but no such node
+    std::uint64_t filtered_out = 0;  // sends suppressed by the peer filter
+    std::uint64_t filtered_in = 0;   // receives dropped by the peer filter
     std::uint64_t timers_fired = 0;
   };
   const Stats& stats() const { return stats_; }
@@ -132,6 +152,7 @@ class UdpTransport final : public Transport {
   std::uint64_t epoch_usec_ = 0;  // steady-clock origin
   std::map<NodeId, Handler> handlers_;
   std::map<NodeId, std::vector<std::uint8_t>> addrs_;  // resolved sockaddr_in
+  IdSet blocked_;
   std::uint64_t next_seq_ = 0;
   std::vector<TimerSlot> timer_slots_;
   std::uint32_t timer_free_head_ = 0xFFFFFFFFu;

@@ -1,0 +1,19 @@
+#include "scenario/backend.hpp"
+
+#include <sstream>
+
+namespace ssr::scenario {
+
+std::string ScenarioResult::summary() const {
+  std::ostringstream os;
+  os << name << " seed=" << seed << " " << (ok ? "OK" : "FAIL")
+     << " events=" << trace_events << " hash=" << std::hex << trace_hash
+     << std::dec << " sim=" << sim_time / kSec << "s";
+  if (!failure.empty()) os << " failure=\"" << failure << "\"";
+  for (const auto& v : violations) {
+    os << "\n  violation[" << v.invariant << "]: " << v.message;
+  }
+  return os.str();
+}
+
+}  // namespace ssr::scenario

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/invariants.hpp"
+#include "scenario/trace.hpp"
+#include "util/types.hpp"
+
+namespace ssr::scenario {
+
+/// Outcome of one scenario execution, shared by every backend. Simulator
+/// runs fill the determinism fields (trace_hash, sched_events, pool_*);
+/// process runs leave them at their sim-only defaults and report wall time
+/// through sim_time.
+struct ScenarioResult {
+  std::string name;
+  std::uint64_t seed = 0;
+  /// Every await met its deadline and the invariant registry is clean.
+  bool ok = false;
+  /// First await that missed its deadline (empty when all met).
+  std::string failure;
+  std::uint64_t trace_hash = 0;
+  std::size_t trace_events = 0;
+  /// Virtual time under the simulator; wall time under the process backend.
+  SimTime sim_time = 0;
+  /// Scheduler events executed during the run — the unit bench_scenarios
+  /// reports as events/sec. Simulator only.
+  std::uint64_t sched_events = 0;
+  /// Fabric totals summed over every channel (sim) or every transport
+  /// (process) at the end of the run.
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  /// wire::BufferPool activity during the run (deltas of the thread pool):
+  /// acquired = payload buffers requested, reused = served from the
+  /// freelist. reused/acquired ≈ 1 is the zero-allocation steady state.
+  /// Simulator only.
+  std::uint64_t pool_acquired = 0;
+  std::uint64_t pool_reused = 0;
+  std::vector<InvariantRegistry::Violation> violations;
+
+  std::string summary() const;
+};
+
+/// One way of executing a ScenarioSpec. Two implementations exist:
+///  * ScenarioRunner  — the deterministic in-process simulator;
+///  * ProcessRunner   — one real ssr_node OS process per node on localhost
+///    UDP, with faults injected through OS primitives (signals, dropped
+///    datagrams) and a control socket.
+/// Both consume the same spec and evaluate the same InvariantRegistry, so a
+/// scenario written once runs under either harness.
+class ScenarioBackend {
+ public:
+  virtual ~ScenarioBackend() = default;
+
+  /// Runs every phase, then evaluates the invariant registry. Call once.
+  virtual ScenarioResult run() = 0;
+
+  virtual TraceRecorder& trace() = 0;
+  virtual InvariantRegistry& invariants() = 0;
+};
+
+}  // namespace ssr::scenario

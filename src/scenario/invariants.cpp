@@ -2,20 +2,25 @@
 
 #include <sstream>
 
+#include "util/assert.hpp"
+
 namespace ssr::scenario {
 
+InvariantRegistry::InvariantRegistry(harness::World& world)
+    : world_(&world), clock_([&world] { return world.scheduler().now(); }) {}
+
 void InvariantRegistry::attach_node(NodeId id) {
-  config_history_.attach_node(world_, id);
-  vsync_.attach_node(world_, id);
+  SSR_ASSERT(world_ != nullptr,
+             "attach_node needs the World-backed registry form");
+  config_history_.attach_node(*world_, id);
+  vsync_.attach_node(*world_, id);
 }
 
 void InvariantRegistry::add(std::string name, Check fn) {
   custom_.emplace_back(std::move(name), std::move(fn));
 }
 
-void InvariantRegistry::mark_stable() {
-  stable_since_ = world_.scheduler().now();
-}
+void InvariantRegistry::mark_stable() { stable_since_ = clock_(); }
 
 std::optional<InvariantRegistry::Violation>
 InvariantRegistry::closure_violation(SimTime since) const {

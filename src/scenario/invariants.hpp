@@ -31,11 +31,21 @@ class InvariantRegistry {
 
   /// Custom invariant: returns an error message on violation.
   using Check = std::function<std::optional<std::string>()>;
+  /// Time source for closure windows: virtual time under the simulator,
+  /// wall time under the process backend.
+  using Clock = std::function<SimTime()>;
 
-  explicit InvariantRegistry(harness::World& world) : world_(world) {}
+  /// Simulator form: monitors attach to live World nodes, the clock is the
+  /// scheduler.
+  explicit InvariantRegistry(harness::World& world);
+  /// Backend-agnostic form: no world — the owner feeds the monitors
+  /// directly (config_history().record(), counter_order().record(),
+  /// report()) from whatever event source it has.
+  explicit InvariantRegistry(Clock clock) : clock_(std::move(clock)) {}
 
   /// Attaches the wrapped monitors to one node. Call exactly once per node
   /// (handlers accumulate; a second attach would double-count events).
+  /// Simulator form only.
   void attach_node(NodeId id);
 
   /// Registers a named custom invariant evaluated by check_all().
@@ -61,7 +71,8 @@ class InvariantRegistry {
  private:
   std::optional<Violation> closure_violation(SimTime since) const;
 
-  harness::World& world_;
+  harness::World* world_ = nullptr;
+  Clock clock_;
   harness::ConfigHistoryMonitor config_history_;
   harness::CounterOrderMonitor counter_order_;
   harness::VirtualSynchronyMonitor vsync_;

@@ -157,6 +157,67 @@ ScenarioSpec transient_blast() {
   return s;
 }
 
+ScenarioSpec crash_respawn() {
+  ScenarioSpec s;
+  s.name = "crash-respawn";
+  s.description =
+      "a member is crash-stopped and a fresh processor takes the slot "
+      "(identifiers are never reused); the configuration follows the "
+      "replacement and then holds";
+  s.initial_nodes = 4;
+  s.aggressive_policy = true;
+  s.phases = {
+      {"converge", {A::await_converged(180 * kSec)}},
+      // The reboot replaces the crashed member in the configuration (the
+      // aggressive policy reconfigures as soon as a member is suspected)
+      // and the fresh processor is admitted as a participant of whatever
+      // configuration results.
+      {"respawn",
+       {A::reboot({2}), A::await_participants({5}, 900 * kSec)}},
+      {"closure",
+       {A::await_converged(900 * kSec), A::mark_stable(),
+        A::run_for(60 * kSec)}},
+  };
+  return s;
+}
+
+ScenarioSpec stall_resume() {
+  ScenarioSpec s;
+  s.name = "stall-resume";
+  s.description =
+      "one member freezes long enough to be suspected (SIGSTOP under the "
+      "process backend, fabric isolation under the simulator), then resumes "
+      "with stale timers; the system re-converges either way";
+  s.initial_nodes = 4;
+  s.phases = {
+      {"converge", {A::await_converged(180 * kSec)}},
+      {"stall", {A::pause_nodes({2}), A::run_for(120 * kSec)}},
+      {"resume", {A::resume_nodes({2}), A::await_converged(1800 * kSec)}},
+      {"closure", {A::mark_stable(), A::run_for(60 * kSec)}},
+  };
+  return s;
+}
+
+ScenarioSpec pause_through_heal() {
+  ScenarioSpec s;
+  s.name = "pause-through-heal";
+  s.description =
+      "a partitioned member is frozen, the partition heals while it is "
+      "stopped, and only then does it resume — the wake-up must see the "
+      "healed fabric (stale filters/isolation must not survive the resume)";
+  s.initial_nodes = 4;
+  s.phases = {
+      {"converge", {A::await_converged(180 * kSec)}},
+      {"cut",
+       {A::split_network({2}, {1, 3, 4}), A::run_for(60 * kSec),
+        A::pause_nodes({2}), A::run_for(30 * kSec)}},
+      {"heal-while-stopped", {A::heal_network(), A::run_for(30 * kSec)}},
+      {"wake", {A::resume_nodes({2}), A::await_converged(1800 * kSec)}},
+      {"closure", {A::mark_stable(), A::run_for(60 * kSec)}},
+  };
+  return s;
+}
+
 ScenarioSpec vs_workload() {
   ScenarioSpec s;
   s.name = "vs-workload";
@@ -191,6 +252,9 @@ const std::vector<ScenarioSpec>& library() {
       partition_heal(),
       silent_after_convergence(),
       transient_blast(),
+      crash_respawn(),
+      stall_resume(),
+      pause_through_heal(),
       vs_workload(),
   };
   return specs;

@@ -1,0 +1,826 @@
+#include "scenario/process_runner.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "counter/counter.hpp"
+#include "reconf/config_value.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/wallclock.hpp"
+
+namespace ssr::scenario {
+namespace {
+
+std::uint64_t digest_ids(const IdSet& ids) {
+  std::uint64_t h = TraceRecorder::kFnvBasis;
+  for (NodeId id : ids) h = TraceRecorder::mix(h, id);
+  return h;
+}
+
+std::uint64_t digest_name(const std::string& s) {
+  std::uint64_t h = TraceRecorder::kFnvBasis;
+  for (char c : s) h = TraceRecorder::mix(h, static_cast<std::uint8_t>(c));
+  return h;
+}
+
+std::uint64_t digest_action(const Action& a) {
+  std::uint64_t h = TraceRecorder::kFnvBasis;
+  h = TraceRecorder::mix(h, digest_ids(a.targets));
+  h = TraceRecorder::mix(h, digest_ids(a.group_b));
+  h = TraceRecorder::mix(h, a.n);
+  h = TraceRecorder::mix(h, a.duration);
+  for (char c : a.reg) h = TraceRecorder::mix(h, static_cast<std::uint8_t>(c));
+  return h;
+}
+
+std::uint64_t parse_u64(const std::map<std::string, std::string>& kv,
+                        const std::string& key) {
+  auto it = kv.find(key);
+  if (it == kv.end()) return 0;
+  return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+ProcessRunner::ProcessRunner(ScenarioSpec spec, ProcessBackendOptions opt)
+    : spec_(std::move(spec)), opt_(std::move(opt)) {
+  SSR_ASSERT(!opt_.node_binary.empty(),
+             "ProcessBackendOptions.node_binary is required");
+  epoch_usec_ = steady_usec();
+  if (opt_.work_dir.empty()) {
+    std::string templ =
+        (std::filesystem::temp_directory_path() / "ssr-scenario-XXXXXX")
+            .string();
+    std::vector<char> buf(templ.begin(), templ.end());
+    buf.push_back('\0');
+    SSR_ASSERT(::mkdtemp(buf.data()) != nullptr, "mkdtemp failed");
+    dir_ = buf.data();
+    made_dir_ = true;
+  } else {
+    dir_ = opt_.work_dir;
+    std::filesystem::create_directories(dir_);
+  }
+  trace_.set_clock([this] { return now(); });
+  registry_ = std::make_unique<InvariantRegistry>(
+      InvariantRegistry::Clock([this] { return now(); }));
+}
+
+ProcessRunner::~ProcessRunner() {
+  for (auto& [id, p] : procs_) {
+    if (p.pid > 0) {
+      ::kill(p.pid, SIGKILL);  // kills stopped children too
+      int status = 0;
+      ::waitpid(p.pid, &status, 0);
+      p.pid = -1;
+    }
+  }
+  // Keep the directory (logs, peer maps) whenever something went wrong so
+  // CI can upload it as an artifact.
+  if (made_dir_ && !opt_.keep_dir && ran_ && !failed_) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+}
+
+SimTime ProcessRunner::now() const { return steady_usec() - epoch_usec_; }
+
+SimTime ProcessRunner::scaled(SimTime sim_duration) const {
+  return static_cast<SimTime>(static_cast<double>(sim_duration) *
+                              opt_.time_scale);
+}
+
+SimTime ProcessRunner::await_budget(SimTime sim_duration) const {
+  const SimTime s = scaled(sim_duration);
+  return s < opt_.min_await ? opt_.min_await : s;
+}
+
+void ProcessRunner::step_sleep() const {
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+}
+
+IdSet ProcessRunner::alive() const {
+  IdSet out;
+  for (const auto& [id, p] : procs_) {
+    if (p.alive) out.insert(id);
+  }
+  return out;
+}
+
+IdSet ProcessRunner::targets_or_alive(const Action& a) const {
+  return a.targets.empty() ? alive() : a.targets;
+}
+
+bool ProcessRunner::converged_now() const {
+  const IdSet live = alive();
+  if (live.empty()) return false;
+  bool first = true;
+  IdSet common;
+  for (NodeId id : live) {
+    const Proc& p = procs_.at(id);
+    if (!p.sampled || !p.noreco || !p.cfg_proper) return false;
+    if (first) {
+      common = p.cfg;
+      first = false;
+    } else if (!(p.cfg == common)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ProcessRunner::vs_stable_now() const {
+  if (!converged_now()) return false;
+  bool any = false;
+  bool first = true;
+  std::uint64_t view = 0;
+  NodeId crd = kNoNode;
+  for (NodeId id : alive()) {
+    const Proc& p = procs_.at(id);
+    if (!p.sampled || !p.has_vs) return false;
+    if (!p.participant) continue;  // joiners sync up after installation
+    if (!p.vs_multicast || p.vs_null || p.vs_no_crd) return false;
+    if (first) {
+      view = p.vs_view_digest;
+      crd = p.vs_crd;
+      first = false;
+    } else if (view != p.vs_view_digest || crd != p.vs_crd) {
+      return false;
+    }
+    any = true;
+  }
+  return any;
+}
+
+void ProcessRunner::fail(const Action& a, const std::string& detail) {
+  if (failed_) return;
+  failed_ = true;
+  std::ostringstream os;
+  os << to_string(a.kind) << ": " << detail;
+  failure_ = os.str();
+}
+
+// -- Process management ------------------------------------------------------
+
+void ProcessRunner::write_cohort_peer_map() {
+  // Atomic rewrite (tmp + rename): daemons re-read this file while any of
+  // their entries still shows port 0.
+  const std::string path = dir_ + "/peers.txt";
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    for (const auto& [id, p] : procs_) {
+      out << id << " 127.0.0.1 " << p.data_port << "\n";
+    }
+  }
+  std::rename(tmp.c_str(), path.c_str());
+}
+
+void ProcessRunner::spawn(NodeId id, const std::string& peers_path) {
+  Proc& p = procs_[id];
+  const std::string port_file = dir_ + "/port." + std::to_string(id);
+  std::remove(port_file.c_str());
+  const std::string log_file = dir_ + "/node-" + std::to_string(id) + ".log";
+
+  std::vector<std::string> args = {
+      opt_.node_binary,
+      "--id", std::to_string(id),
+      "--peers", peers_path,
+      "--port-file", port_file,
+      "--seconds", std::to_string(opt_.node_seconds),
+      "--tick-us", std::to_string(opt_.tick_us),
+      "--seed",
+      std::to_string((opt_.seed + 0x9E3779B97F4A7C15ULL) * 1000003ULL + id),
+  };
+  if (spec_.enable_vs) args.push_back("--vs");
+  if (spec_.aggressive_policy) args.push_back("--aggressive");
+  if (spec_.exhaust_bound != 0) {
+    args.push_back("--exhaust-bound");
+    args.push_back(std::to_string(spec_.exhaust_bound));
+  }
+
+  const int pid = ::fork();
+  SSR_ASSERT(pid >= 0, "fork failed");
+  if (pid == 0) {
+    // Child: log to its own file, then become the daemon.
+    const int fd = ::open(log_file.c_str(),
+                          O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd >= 0) {
+      ::dup2(fd, 1);
+      ::dup2(fd, 2);
+      ::close(fd);
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& s : args) argv.push_back(s.data());
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    std::perror("execv ssr_node");
+    ::_exit(127);
+  }
+  p.pid = pid;
+  p.alive = true;
+  p.paused = false;
+  p.sampled = false;
+  p.ops_harvested = 0;
+}
+
+bool ProcessRunner::collect_ports(NodeId id) {
+  Proc& p = procs_[id];
+  const std::string port_file = dir_ + "/port." + std::to_string(id);
+  const SimTime deadline = now() + 15 * kSec;
+  while (now() < deadline) {
+    std::ifstream in(port_file);
+    unsigned data = 0, ctl = 0;
+    if (in && (in >> data >> ctl) && data != 0 && ctl != 0) {
+      p.data_port = static_cast<std::uint16_t>(data);
+      p.ctl_port = static_cast<std::uint16_t>(ctl);
+      return true;
+    }
+    int status = 0;
+    if (::waitpid(p.pid, &status, WNOHANG) == p.pid) {
+      p.alive = false;
+      p.pid = -1;
+      return false;  // died before binding — the log file has the story
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  return false;
+}
+
+NodeId ProcessRunner::spawn_fresh_node() {
+  const NodeId id = next_id_++;
+  // A late joiner gets its own map: every current cohort member with its
+  // real port, plus itself at port 0 (bind-and-discover). Existing nodes
+  // learn the newcomer's address from its first well-formed datagram.
+  std::string peers_path = dir_ + "/peers." + std::to_string(id) + ".txt";
+  {
+    std::ofstream out(peers_path);
+    for (const auto& [other, p] : procs_) {
+      if (p.alive) out << other << " 127.0.0.1 " << p.data_port << "\n";
+    }
+    out << id << " 127.0.0.1 0\n";
+  }
+  spawn(id, peers_path);
+  trace_.record(TraceKind::kNodeAdded, id);
+  if (!collect_ports(id)) {
+    Action dummy;
+    dummy.kind = ActionKind::kAddNodes;
+    fail(dummy, "node " + std::to_string(id) + " failed to start");
+  }
+  return id;
+}
+
+void ProcessRunner::kill_node(NodeId id) {
+  auto it = procs_.find(id);
+  if (it == procs_.end() || !it->second.alive) return;
+  Proc& p = it->second;
+  // Completed operations die with the process; pull them first so the
+  // counter-order record stays complete.
+  if (!p.paused) harvest_ops_from(id, p);
+  ::kill(p.pid, SIGKILL);  // kills stopped processes too
+  int status = 0;
+  ::waitpid(p.pid, &status, 0);
+  p.pid = -1;
+  p.alive = false;
+  trace_.record(TraceKind::kNodeCrashed, id);
+}
+
+// -- Sampling ----------------------------------------------------------------
+
+bool ProcessRunner::sample_node(NodeId id, Proc& p) {
+  auto reply = client_.request(p.ctl_port, "STATUS", 250, 2);
+  if (!reply) {
+    // Unreachable: either mid-GC busy (retry next round) or dead. Only an
+    // observed exit is fatal — a wedged-alive node surfaces as an await
+    // timeout instead.
+    int status = 0;
+    if (p.pid > 0 && ::waitpid(p.pid, &status, WNOHANG) == p.pid) {
+      p.pid = -1;
+      p.alive = false;
+      failed_ = true;
+      failure_ = "node " + std::to_string(id) + " exited unexpectedly";
+    }
+    return false;
+  }
+  if (reply->rfind("OK", 0) != 0) return false;
+  const auto kv = ctl::parse_kv(reply->substr(2));
+  const std::uint64_t changes = parse_u64(kv, "cfgchanges");
+  p.noreco = parse_u64(kv, "noreco") != 0;
+  p.participant = parse_u64(kv, "part") != 0;
+  const auto cfg_it = kv.find("cfg");
+  IdSet cfg;
+  if (cfg_it != kv.end() && cfg_it->second != "-") {
+    if (auto parsed = ctl::parse_ids(cfg_it->second)) cfg = *parsed;
+  }
+  p.cfg = cfg;
+  p.cfg_proper =
+      parse_u64(kv, "cfgtag") ==
+          static_cast<std::uint64_t>(reconf::ConfigValue::Tag::kSet) &&
+      !cfg.empty();
+  p.incq = parse_u64(kv, "incq");
+  p.shmq = parse_u64(kv, "shmq");
+  p.sent = parse_u64(kv, "sent");
+  p.recv = parse_u64(kv, "recv");
+  p.has_vs = kv.count("vsmc") != 0;
+  if (p.has_vs) {
+    p.vs_multicast = parse_u64(kv, "vsmc") != 0;
+    p.vs_null = parse_u64(kv, "vsnull") != 0;
+    p.vs_no_crd = parse_u64(kv, "vsnocrd") != 0;
+    p.vs_crd = static_cast<NodeId>(parse_u64(kv, "vscrd"));
+    p.vs_view_digest = parse_u64(kv, "vsview");
+  }
+
+  const std::uint64_t new_digest = digest_ids(p.cfg);
+  if (p.sampled && changes > p.cfgchanges) {
+    // The daemon reconfigured since the last sample. The count is exact
+    // (the daemon counts every change handler fire); the *values* are
+    // sampled, so each of the missed changes is attributed the currently
+    // believed configuration at the sample instant.
+    const std::uint64_t delta = changes - p.cfgchanges;
+    for (std::uint64_t i = 0; i < delta; ++i) {
+      registry_->config_history().record(
+          now(), id,
+          p.cfg_proper ? reconf::ConfigValue::set(p.cfg)
+                       : reconf::ConfigValue::bottom());
+    }
+    trace_.record(TraceKind::kConfigChange, id, new_digest, delta);
+  } else if (!p.sampled || new_digest != p.cfg_digest) {
+    trace_.record(TraceKind::kNodeSample, id, new_digest,
+                  (p.noreco ? 2u : 0u) | (p.participant ? 1u : 0u));
+  }
+  p.cfgchanges = changes;
+  p.cfg_digest = new_digest;
+  p.sampled = true;
+  return true;
+}
+
+bool ProcessRunner::sample_all() {
+  bool all = true;
+  for (auto& [id, p] : procs_) {
+    if (!p.alive || p.paused) continue;
+    all = sample_node(id, p) && all;
+    if (failed_) return false;
+  }
+  return all;
+}
+
+void ProcessRunner::harvest_ops_from(NodeId id, Proc& p) {
+  // Paged pull: every reply carries ops starting at our cursor plus the
+  // daemon's total. The cursor only moves past fully validated ops, so a
+  // truncated or garbled reply is refetched on the next harvest instead of
+  // silently dropping completed increments from the order check.
+  for (;;) {
+    auto reply = client_.request(
+        p.ctl_port, "OPS " + std::to_string(p.ops_harvested), 300, 2);
+    if (!reply || reply->rfind("OK", 0) != 0) return;
+    std::istringstream is(reply->substr(2));
+    std::string tok;
+    std::size_t total = 0;
+    bool progressed = false;
+    while (is >> tok) {
+      if (tok.rfind("total=", 0) == 0) {
+        total = std::strtoull(tok.substr(6).c_str(), nullptr, 10);
+        continue;
+      }
+      if (tok.rfind("op=", 0) != 0) continue;
+      const std::string body = tok.substr(3);
+      const auto c1 = body.find(':');
+      const auto c2 = body.find(':', c1 + 1);
+      if (c1 == std::string::npos || c2 == std::string::npos) return;
+      const std::uint64_t started =
+          std::strtoull(body.substr(0, c1).c_str(), nullptr, 10);
+      const std::uint64_t finished =
+          std::strtoull(body.substr(c1 + 1, c2 - c1 - 1).c_str(), nullptr,
+                        10);
+      auto blob = ctl::hex_decode(body.substr(c2 + 1));
+      if (!blob) return;
+      wire::Reader r(*blob);
+      auto c = counter::Counter::decode(r);
+      if (!c || !r.ok()) return;
+      registry_->counter_order().record(started, finished, *c);
+      trace_.record(TraceKind::kIncrementDone, id, 1, c->seqn);
+      ++p.ops_harvested;
+      progressed = true;
+    }
+    if (p.ops_harvested >= total || !progressed) return;
+  }
+}
+
+void ProcessRunner::harvest_ops() {
+  for (auto& [id, p] : procs_) {
+    if (p.alive && !p.paused) harvest_ops_from(id, p);
+  }
+}
+
+// -- Control helpers ---------------------------------------------------------
+
+void ProcessRunner::control_or_fail(const Action& a, NodeId id,
+                                    const std::string& cmd) {
+  auto& p = procs_.at(id);
+  auto reply = client_.request(p.ctl_port, cmd);
+  if (!reply) {
+    fail(a, "node " + std::to_string(id) + " unreachable for '" + cmd + "'");
+    return;
+  }
+  if (reply->rfind("OK", 0) != 0) {
+    fail(a, "node " + std::to_string(id) + " rejected '" + cmd +
+            "': " + *reply);
+  }
+}
+
+void ProcessRunner::send_blocked_sets(const IdSet& touched) {
+  Action a;
+  a.kind = ActionKind::kSplitNetwork;
+  for (NodeId id : touched) {
+    auto it = procs_.find(id);
+    if (it == procs_.end() || !it->second.alive || it->second.paused) continue;
+    control_or_fail(a, id, "BLOCK " + ctl::format_ids(blocked_[id]));
+  }
+}
+
+void ProcessRunner::do_garbage(std::uint64_t per_node) {
+  // OS-level channel garbage: raw junk datagrams straight at every node's
+  // data socket — no cooperation from the daemon at all.
+  const int raw = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (raw < 0) return;
+  Rng rng(opt_.seed ^ 0x6A12BA6EULL);
+  for (const auto& [id, p] : procs_) {
+    if (!p.alive) continue;
+    sockaddr_in to{};
+    to.sin_family = AF_INET;
+    to.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    to.sin_port = htons(p.data_port);
+    for (std::uint64_t i = 0; i < per_node; ++i) {
+      std::uint8_t junk[64];
+      for (std::uint8_t& b : junk) {
+        b = static_cast<std::uint8_t>(rng.next_u64() & 0xFF);
+      }
+      (void)::sendto(raw, junk, sizeof(junk), 0,
+                     reinterpret_cast<sockaddr*>(&to), sizeof(to));
+    }
+  }
+  ::close(raw);
+}
+
+// -- Run loop ----------------------------------------------------------------
+
+ScenarioResult ProcessRunner::run() {
+  SSR_ASSERT(!ran_, "a ProcessRunner runs its spec once");
+  ran_ = true;
+
+  // Bootstrap cohort: spawn everyone against a placeholder map (all ports
+  // 0), then publish the real ports in one atomic rewrite. The daemons
+  // poll the map until their view has no port-0 entries left.
+  for (std::size_t i = 0; i < spec_.initial_nodes; ++i) {
+    const NodeId id = next_id_++;
+    procs_[id];  // placeholder so the shared map lists the whole cohort
+  }
+  {
+    const std::string path = dir_ + "/peers.txt";
+    std::ofstream out(path);
+    for (const auto& [id, p] : procs_) {
+      (void)p;
+      out << id << " 127.0.0.1 0\n";
+    }
+  }
+  for (auto& [id, p] : procs_) {
+    (void)p;
+    spawn(id, dir_ + "/peers.txt");
+    trace_.record(TraceKind::kNodeAdded, id);
+  }
+  for (auto& [id, p] : procs_) {
+    (void)p;
+    if (!collect_ports(id)) {
+      failed_ = true;
+      failure_ = "node " + std::to_string(id) + " failed to start";
+      break;
+    }
+  }
+  if (!failed_) write_cohort_peer_map();
+
+  for (const Phase& phase : spec_.phases) {
+    if (failed_) break;
+    trace_.record(TraceKind::kPhaseStart, kNoNode, digest_name(phase.name));
+    for (const Action& a : phase.actions) {
+      if (failed_) break;
+      trace_.record(TraceKind::kActionApplied, kNoNode,
+                    static_cast<std::uint64_t>(a.kind), digest_action(a));
+      apply(a);
+    }
+  }
+
+  harvest_ops();
+
+  ScenarioResult r;
+  r.name = spec_.name;
+  r.seed = opt_.seed;
+  r.failure = failure_;
+  r.violations = registry_->check_all();
+  r.ok = !failed_ && r.violations.empty();
+  // Any failure — missed await OR invariant violation — must keep the
+  // scratch directory: the destructor keys on failed_.
+  if (!r.ok) failed_ = true;
+  r.trace_hash = trace_.hash();
+  r.trace_events = trace_.events().size();
+  r.sim_time = now();
+  for (const auto& [id, p] : procs_) {
+    (void)id;
+    r.packets_sent += p.sent;
+    r.packets_delivered += p.recv;
+  }
+  return r;
+}
+
+void ProcessRunner::apply(const Action& a) {
+  switch (a.kind) {
+    case ActionKind::kAddNodes: {
+      registry_->unmark_stable();
+      for (std::uint64_t i = 0; i < a.n && !failed_; ++i) spawn_fresh_node();
+      return;
+    }
+    case ActionKind::kCrash: {
+      registry_->unmark_stable();
+      for (NodeId id : a.targets) kill_node(id);
+      return;
+    }
+    case ActionKind::kReboot: {
+      registry_->unmark_stable();
+      // Identifiers are never reused (paper, Section 2): a reboot is a
+      // crash-stop plus a fresh processor taking the slot.
+      for (NodeId id : a.targets) {
+        kill_node(id);
+        if (!failed_) spawn_fresh_node();
+      }
+      return;
+    }
+    case ActionKind::kSplitNetwork: {
+      registry_->unmark_stable();
+      for (NodeId x : a.targets) {
+        for (NodeId y : a.group_b) {
+          if (x == y) continue;
+          blocked_[x].insert(y);
+          blocked_[y].insert(x);
+        }
+      }
+      IdSet touched = a.targets;
+      for (NodeId y : a.group_b) touched.insert(y);
+      send_blocked_sets(touched);
+      return;
+    }
+    case ActionKind::kHealNetwork: {
+      IdSet touched;
+      for (auto& [id, set] : blocked_) {
+        if (!set.empty()) touched.insert(id);
+        set = IdSet{};
+      }
+      send_blocked_sets(touched);
+      return;
+    }
+    case ActionKind::kCorruptRecsa:
+      registry_->unmark_stable();
+      for (NodeId id : targets_or_alive(a)) {
+        control_or_fail(a, id, "CORRUPT recsa");
+      }
+      return;
+    case ActionKind::kCorruptFd:
+      registry_->unmark_stable();
+      for (NodeId id : targets_or_alive(a)) {
+        control_or_fail(a, id, "CORRUPT fd");
+      }
+      return;
+    case ActionKind::kSplitConfigState: {
+      registry_->unmark_stable();
+      // Mirrors harness::FaultInjector::split_config: the first half of the
+      // alive set (in id order) believes `targets`, the rest believe
+      // `group_b`.
+      const IdSet all = alive();
+      std::size_t i = 0;
+      for (NodeId id : all) {
+        const bool first_half = i < all.size() / 2;
+        const IdSet& mine = first_half ? a.targets : a.group_b;
+        control_or_fail(a, id, "CONF " + ctl::format_ids(mine));
+        ++i;
+      }
+      return;
+    }
+    case ActionKind::kGarbageChannels:
+      registry_->unmark_stable();
+      do_garbage(a.n);
+      return;
+    case ActionKind::kPlantExhaustedCounter:
+      registry_->unmark_stable();
+      for (NodeId id : a.targets) {
+        control_or_fail(a, id, "PLANT_CTR " + std::to_string(a.n));
+      }
+      return;
+    case ActionKind::kPlantRecmaFlags:
+      registry_->unmark_stable();
+      for (NodeId id : a.targets) {
+        control_or_fail(a, id,
+                        std::string("RECMA ") + ((a.n & 1) ? "1" : "0") + " " +
+                            ((a.n & 2) ? "1" : "0"));
+      }
+      return;
+    case ActionKind::kIncrementBurst:
+      do_increment_burst(a);
+      return;
+    case ActionKind::kShmemWrite:
+      do_shmem(a, /*write=*/true);
+      return;
+    case ActionKind::kShmemRead:
+      do_shmem(a, /*write=*/false);
+      return;
+    case ActionKind::kRunFor: {
+      const SimTime deadline = now() + scaled(a.duration);
+      while (now() < deadline && !failed_) {
+        sample_all();
+        step_sleep();
+      }
+      return;
+    }
+    case ActionKind::kAwaitConverged: {
+      if (!await(await_budget(a.duration), [&] { return converged_now(); })) {
+        if (!failed_) fail(a, "no convergence within the time budget");
+        return;
+      }
+      trace_.record(TraceKind::kConverged, kNoNode,
+                    digest_ids(procs_.at(*alive().begin()).cfg));
+      return;
+    }
+    case ActionKind::kAwaitVsStable: {
+      if (!spec_.enable_vs) {
+        fail(a, "await_vs_stable needs enable_vs in the spec");
+        return;
+      }
+      if (!await(await_budget(a.duration), [&] { return vs_stable_now(); })) {
+        if (!failed_) fail(a, "VS layer did not stabilize");
+        return;
+      }
+      trace_.record(TraceKind::kVsStable, kNoNode);
+      return;
+    }
+    case ActionKind::kAwaitParticipants: {
+      auto all_part = [&] {
+        for (NodeId id : a.targets) {
+          auto it = procs_.find(id);
+          if (it == procs_.end() || !it->second.alive ||
+              !it->second.sampled || !it->second.participant) {
+            return false;
+          }
+        }
+        return true;
+      };
+      if (!await(await_budget(a.duration), all_part) && !failed_) {
+        fail(a, "targets were not admitted as participants");
+      }
+      return;
+    }
+    case ActionKind::kAwaitConfigEqualsAlive: {
+      auto caught_up = [&] {
+        const IdSet live = alive();
+        for (NodeId id : live) {
+          const Proc& p = procs_.at(id);
+          if (!p.sampled || !p.cfg_proper || !(p.cfg == live)) return false;
+        }
+        return !live.empty();
+      };
+      if (!await(await_budget(a.duration), caught_up) && !failed_) {
+        fail(a, "configuration did not catch up with the alive set");
+      }
+      return;
+    }
+    case ActionKind::kMarkStable: {
+      // Take a fresh sample of *every* node first, so changes that happened
+      // before the window opened are not attributed into it. A transiently
+      // unresponsive daemon (busy lap, loopback drop) gets retried — one
+      // missed node here would turn into a spurious closure violation at
+      // its next successful sample.
+      for (int lap = 0; lap < 20 && !sample_all() && !failed_; ++lap) {
+        step_sleep();
+      }
+      registry_->mark_stable();
+      trace_.record(TraceKind::kStableMarked, kNoNode);
+      return;
+    }
+    case ActionKind::kCrashAll: {
+      registry_->unmark_stable();
+      for (NodeId id : alive()) kill_node(id);
+      return;
+    }
+    case ActionKind::kAwaitQuiescent: {
+      if (!alive().empty()) {
+        registry_->report("silence", false,
+                          "await_quiescent requires every node crashed first");
+        return;
+      }
+      // Process-level quiescence is an OS triviality (the processes are
+      // gone); the event-level drain check is a simulator property. Record
+      // the teardown point so traces stay comparable.
+      trace_.record(TraceKind::kQuiescent, kNoNode, 1);
+      return;
+    }
+    case ActionKind::kPauseNodes: {
+      registry_->unmark_stable();
+      for (NodeId id : a.targets) {
+        auto it = procs_.find(id);
+        if (it == procs_.end() || !it->second.alive) continue;
+        // Harvest first: a stopped process cannot answer OPS, and it may
+        // be SIGKILLed before ever resuming.
+        harvest_ops_from(id, it->second);
+        ::kill(it->second.pid, SIGSTOP);
+        it->second.paused = true;
+        trace_.record(TraceKind::kNodePaused, id);
+      }
+      return;
+    }
+    case ActionKind::kResumeNodes: {
+      for (NodeId id : a.targets) {
+        auto it = procs_.find(id);
+        if (it == procs_.end() || !it->second.alive || !it->second.paused) {
+          continue;
+        }
+        ::kill(it->second.pid, SIGCONT);
+        it->second.paused = false;
+        trace_.record(TraceKind::kNodeResumed, id);
+        // Peer-filter updates (splits/heals) that happened while the node
+        // was stopped were never delivered; reinstall the current set.
+        control_or_fail(a, id, "BLOCK " + ctl::format_ids(blocked_[id]));
+        // And sample immediately, so state from before the pause cannot be
+        // attributed into a closure window opened later.
+        sample_node(id, it->second);
+      }
+      return;
+    }
+  }
+}
+
+void ProcessRunner::do_increment_burst(const Action& a) {
+  const IdSet clients = targets_or_alive(a);
+  IdSet queued;
+  for (NodeId id : clients) {
+    auto it = procs_.find(id);
+    if (it == procs_.end() || !it->second.alive || it->second.paused) continue;
+    control_or_fail(a, id, "INC " + std::to_string(a.n));
+    if (failed_) return;
+    queued.insert(id);
+  }
+  // Generous drain budget: increments are quorum operations that legally
+  // abort and retry through reconfigurations. Remaining queue depth at the
+  // deadline is not a scenario failure — exactly like the simulator's
+  // bounded-attempt bursts — it only means fewer ops feed the order check.
+  const SimTime budget = await_budget(120 * kSec * (a.n == 0 ? 1 : a.n));
+  await(budget, [&] {
+    for (NodeId id : queued) {
+      const Proc& p = procs_.at(id);
+      if (p.alive && !p.paused && (!p.sampled || p.incq != 0)) return false;
+    }
+    return true;
+  });
+  harvest_ops();
+}
+
+void ProcessRunner::do_shmem(const Action& a, bool write) {
+  std::string cmd;
+  if (write) {
+    cmd = "SHMEMW " + a.reg + " " + std::to_string(a.n);
+  } else {
+    cmd = "SHMEMR " + a.reg;
+  }
+  IdSet queued;
+  for (NodeId id : targets_or_alive(a)) {
+    auto it = procs_.find(id);
+    if (it == procs_.end() || !it->second.alive || it->second.paused) continue;
+    control_or_fail(a, id, cmd);
+    if (failed_) return;
+    queued.insert(id);
+  }
+  await(await_budget(160 * kSec), [&] {
+    for (NodeId id : queued) {
+      const Proc& p = procs_.at(id);
+      if (p.alive && !p.paused && (!p.sampled || p.shmq != 0)) return false;
+    }
+    return true;
+  });
+  for (NodeId id : queued) {
+    const Proc& p = procs_.at(id);
+    trace_.record(TraceKind::kShmemOpDone, id,
+                  (p.sampled && p.shmq == 0) ? 1 : 0, write ? 1 : 0);
+  }
+}
+
+}  // namespace ssr::scenario

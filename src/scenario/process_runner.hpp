@@ -1,0 +1,182 @@
+#pragma once
+
+// Process execution backend for the scenario engine (POSIX only).
+//
+// Takes the same ScenarioSpec the simulator consumes and runs it against
+// real ssr_node daemons on localhost UDP — one OS process per node — with
+// the fault script implemented in OS primitives:
+//
+//   crash / reboot      SIGKILL (+ a fresh process for the replacement id)
+//   pause / resume      SIGSTOP / SIGCONT
+//   partition / heal    per-node peer filters installed over the control
+//                       socket (UdpTransport::set_blocked on each side)
+//   channel garbage     raw junk datagrams fired at every node's data port
+//   state corruption    CORRUPT/CONF/PLANT_CTR/RECMA control commands
+//   workload            INC/SHMEMW/SHMEMR control commands
+//
+// Node state is sampled over the control socket into the same TraceRecorder
+// the simulator uses, and the same InvariantRegistry checks evaluate at the
+// end: closure windows over sampled config changes, counter order over the
+// per-operation intervals the daemons report, convergence awaits. Wall
+// time replaces virtual time; sim durations are scaled by
+// ProcessBackendOptions::time_scale.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scenario/backend.hpp"
+#include "scenario/control.hpp"
+#include "scenario/scenario.hpp"
+
+namespace ssr::scenario {
+
+struct ProcessBackendOptions {
+  /// Path to the ssr_node binary (required).
+  std::string node_binary;
+  /// Scratch directory for peer maps, port files and per-node logs; empty =
+  /// a fresh mkdtemp under TMPDIR. Kept on failure (CI uploads it), removed
+  /// on success unless keep_dir.
+  std::string work_dir;
+  bool keep_dir = false;
+  /// Wall-clock seconds per simulated second for durations in the spec.
+  /// Awaits stop early on success, so this mostly paces run_for stretches
+  /// and closure windows.
+  double time_scale = 0.05;
+  /// Floor for await budgets after scaling (process startup + real
+  /// convergence time dominate short awaits).
+  SimTime min_await = 30 * kSec;
+  /// Forwarded into the daemons' RNG seeds (per-node mixed).
+  std::uint64_t seed = 1;
+  /// --seconds passed to every daemon: a self-destruct horizon so orphans
+  /// die even if the runner is SIGKILLed mid-scenario.
+  std::uint64_t node_seconds = 900;
+  /// Daemon do-forever tick (µs); smaller than the daemon's standalone
+  /// default to keep scaled scenarios snappy.
+  std::uint64_t tick_us = 2000;
+};
+
+/// ScenarioBackend over real processes. One runner instance runs one spec
+/// once; the destructor reaps every child it spawned.
+class ProcessRunner final : public ScenarioBackend {
+ public:
+  ProcessRunner(ScenarioSpec spec, ProcessBackendOptions opt);
+  ~ProcessRunner() override;
+
+  ProcessRunner(const ProcessRunner&) = delete;
+  ProcessRunner& operator=(const ProcessRunner&) = delete;
+
+  ScenarioResult run() override;
+  TraceRecorder& trace() override { return trace_; }
+  InvariantRegistry& invariants() override { return *registry_; }
+
+  const std::string& work_dir() const { return dir_; }
+
+ private:
+  struct Proc {
+    int pid = -1;
+    std::uint16_t data_port = 0;
+    std::uint16_t ctl_port = 0;
+    bool alive = false;
+    bool paused = false;
+    // Last STATUS sample (valid once sampled = true).
+    bool sampled = false;
+    bool noreco = false;
+    bool participant = false;
+    bool cfg_proper = false;
+    IdSet cfg;
+    std::uint64_t cfg_digest = 0;
+    std::uint64_t cfgchanges = 0;
+    std::uint64_t incq = 0;
+    std::uint64_t shmq = 0;
+    std::uint64_t sent = 0;
+    std::uint64_t recv = 0;
+    // VS layer sample (valid when has_vs).
+    bool has_vs = false;
+    bool vs_multicast = false;
+    bool vs_null = true;
+    bool vs_no_crd = true;
+    NodeId vs_crd = kNoNode;
+    std::uint64_t vs_view_digest = 0;
+    /// How many of the daemon's completed ops were already fed to the
+    /// counter-order monitor (the OPS reply is append-only).
+    std::size_t ops_harvested = 0;
+  };
+
+  /// Wall microseconds since run start — the backend's SimTime.
+  SimTime now() const;
+  SimTime scaled(SimTime sim_duration) const;
+  SimTime await_budget(SimTime sim_duration) const;
+
+  NodeId spawn_fresh_node();
+  void spawn(NodeId id, const std::string& peers_path);
+  void kill_node(NodeId id);
+  void write_cohort_peer_map();
+  bool collect_ports(NodeId id);
+  void fail(const Action& a, const std::string& detail);
+
+  IdSet alive() const;
+  IdSet targets_or_alive(const Action& a) const;
+  /// The converged() predicate over the latest samples: every alive node
+  /// reports noReco and the same proper configuration.
+  bool converged_now() const;
+  /// World::vs_stable over the latest samples: converged, and every alive
+  /// participant multicasting in one common non-null view with one
+  /// coordinator.
+  bool vs_stable_now() const;
+
+  /// One STATUS round over every alive, unpaused node. Config changes
+  /// observed since the previous round are recorded into the trace and the
+  /// config-history monitor. An unreachable node is checked against
+  /// waitpid: an unexpected exit fails the scenario. Returns true when
+  /// every polled node answered this round.
+  bool sample_all();
+  bool sample_node(NodeId id, Proc& p);
+  /// Pulls completed operations from every alive node into the
+  /// counter-order monitor (incremental; safe to call repeatedly).
+  void harvest_ops();
+  void harvest_ops_from(NodeId id, Proc& p);
+
+  /// Sleeps in sampling steps until `pred` holds or `budget` elapses.
+  template <class Pred>
+  bool await(SimTime budget, Pred pred) {
+    const SimTime deadline = now() + budget;
+    for (;;) {
+      sample_all();
+      if (failed_) return false;
+      if (pred()) return true;
+      if (now() >= deadline) return pred();
+      step_sleep();
+    }
+  }
+
+  void step_sleep() const;
+  void send_blocked_sets(const IdSet& touched);
+  void control_or_fail(const Action& a, NodeId id, const std::string& cmd);
+
+  void apply(const Action& a);
+  void do_increment_burst(const Action& a);
+  void do_shmem(const Action& a, bool write);
+  void do_garbage(std::uint64_t per_node);
+
+  ScenarioSpec spec_;
+  ProcessBackendOptions opt_;
+  std::string dir_;
+  bool made_dir_ = false;
+  std::uint64_t epoch_usec_ = 0;
+  ctl::ControlClient client_;
+  TraceRecorder trace_;
+  std::unique_ptr<InvariantRegistry> registry_;
+  std::map<NodeId, Proc> procs_;
+  /// Runner-side view of each node's peer filter (BLOCK replaces the whole
+  /// set, so partitions accumulate here and ship as full sets).
+  std::map<NodeId, IdSet> blocked_;
+  NodeId next_id_ = 1;
+  bool failed_ = false;
+  std::string failure_;
+  bool ran_ = false;
+};
+
+}  // namespace ssr::scenario

@@ -36,18 +36,6 @@ void aggressive_policy(node::Node& n) {
 
 }  // namespace
 
-std::string ScenarioResult::summary() const {
-  std::ostringstream os;
-  os << name << " seed=" << seed << " " << (ok ? "OK" : "FAIL")
-     << " events=" << trace_events << " hash=" << std::hex << trace_hash
-     << std::dec << " sim=" << sim_time / kSec << "s";
-  if (!failure.empty()) os << " failure=\"" << failure << "\"";
-  for (const auto& v : violations) {
-    os << "\n  violation[" << v.invariant << "]: " << v.message;
-  }
-  return os.str();
-}
-
 ScenarioRunner::ScenarioRunner(ScenarioSpec spec, std::uint64_t seed)
     : spec_(std::move(spec)), seed_(seed) {
   harness::WorldConfig cfg;
@@ -248,6 +236,24 @@ void ScenarioRunner::apply(const Action& a) {
     case ActionKind::kAwaitQuiescent:
       do_await_quiescent(a);
       return;
+    case ActionKind::kPauseNodes: {
+      // The closest fabric analog of SIGSTOP: a stopped process takes no
+      // steps and answers nothing, so from its peers' point of view it is
+      // unreachable until resumed.
+      registry_->unmark_stable();
+      for (NodeId id : a.targets) {
+        world_->network().isolate(id);
+        trace_.record(TraceKind::kNodePaused, id);
+      }
+      return;
+    }
+    case ActionKind::kResumeNodes: {
+      for (NodeId id : a.targets) {
+        world_->network().rejoin(id);
+        trace_.record(TraceKind::kNodeResumed, id);
+      }
+      return;
+    }
   }
 }
 

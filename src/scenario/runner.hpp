@@ -5,51 +5,26 @@
 
 #include "harness/fault_injector.hpp"
 #include "harness/world.hpp"
+#include "scenario/backend.hpp"
 #include "scenario/invariants.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/trace.hpp"
 
 namespace ssr::scenario {
 
-struct ScenarioResult {
-  std::string name;
-  std::uint64_t seed = 0;
-  /// Every await met its deadline and the invariant registry is clean.
-  bool ok = false;
-  /// First await that missed its deadline (empty when all met).
-  std::string failure;
-  std::uint64_t trace_hash = 0;
-  std::size_t trace_events = 0;
-  SimTime sim_time = 0;
-  /// Scheduler events executed during the run — the unit bench_scenarios
-  /// reports as events/sec.
-  std::uint64_t sched_events = 0;
-  /// Fabric totals summed over every channel at the end of the run.
-  std::uint64_t packets_sent = 0;
-  std::uint64_t packets_delivered = 0;
-  /// wire::BufferPool activity during the run (deltas of the thread pool):
-  /// acquired = payload buffers requested, reused = served from the
-  /// freelist. reused/acquired ≈ 1 is the zero-allocation steady state.
-  std::uint64_t pool_acquired = 0;
-  std::uint64_t pool_reused = 0;
-  std::vector<InvariantRegistry::Violation> violations;
-
-  std::string summary() const;
-};
-
 /// Interprets a ScenarioSpec against a fresh World on the deterministic
 /// scheduler. One (spec, seed) pair names exactly one execution: the same
 /// pair always produces a byte-identical trace (and therefore hash).
-class ScenarioRunner {
+class ScenarioRunner final : public ScenarioBackend {
  public:
   ScenarioRunner(ScenarioSpec spec, std::uint64_t seed);
 
   /// Runs every phase, then evaluates the invariant registry.
-  ScenarioResult run();
+  ScenarioResult run() override;
 
   harness::World& world() { return *world_; }
-  TraceRecorder& trace() { return trace_; }
-  InvariantRegistry& invariants() { return *registry_; }
+  TraceRecorder& trace() override { return trace_; }
+  InvariantRegistry& invariants() override { return *registry_; }
 
  private:
   void apply(const Action& a);

@@ -26,6 +26,8 @@ const char* to_string(ActionKind k) {
     case ActionKind::kMarkStable: return "mark_stable";
     case ActionKind::kCrashAll: return "crash_all";
     case ActionKind::kAwaitQuiescent: return "await_quiescent";
+    case ActionKind::kPauseNodes: return "pause_nodes";
+    case ActionKind::kResumeNodes: return "resume_nodes";
   }
   return "unknown";
 }
@@ -187,6 +189,20 @@ Action Action::await_quiescent(SimTime budget) {
   Action a;
   a.kind = ActionKind::kAwaitQuiescent;
   a.duration = budget;
+  return a;
+}
+
+Action Action::pause_nodes(IdSet targets) {
+  Action a;
+  a.kind = ActionKind::kPauseNodes;
+  a.targets = std::move(targets);
+  return a;
+}
+
+Action Action::resume_nodes(IdSet targets) {
+  Action a;
+  a.kind = ActionKind::kResumeNodes;
+  a.targets = std::move(targets);
   return a;
 }
 

@@ -34,6 +34,10 @@ enum class ActionKind : std::uint8_t {
   kMarkStable,        ///< opens a closure window (no config changes allowed)
   kCrashAll,          ///< crash every alive node (teardown)
   kAwaitQuiescent,    ///< duration = drain budget; scheduler must empty
+  kPauseNodes,        ///< targets: freeze (SIGSTOP under the process
+                      ///< backend; fabric isolation under the simulator — a
+                      ///< stopped process is unreachable from the outside)
+  kResumeNodes,       ///< targets: unfreeze (SIGCONT / fabric rejoin)
 };
 
 const char* to_string(ActionKind k);
@@ -69,6 +73,8 @@ struct Action {
   static Action mark_stable();
   static Action crash_all();
   static Action await_quiescent(SimTime budget);
+  static Action pause_nodes(IdSet targets);
+  static Action resume_nodes(IdSet targets);
 };
 
 struct Phase {

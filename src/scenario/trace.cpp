@@ -53,6 +53,9 @@ const char* to_string(TraceKind k) {
     case TraceKind::kVsStable: return "vs_stable";
     case TraceKind::kStableMarked: return "stable_marked";
     case TraceKind::kQuiescent: return "quiescent";
+    case TraceKind::kNodePaused: return "node_paused";
+    case TraceKind::kNodeResumed: return "node_resumed";
+    case TraceKind::kNodeSample: return "node_sample";
   }
   return "unknown";
 }
@@ -93,7 +96,11 @@ void TraceRecorder::attach_node(harness::World& world, NodeId id) {
 void TraceRecorder::record(TraceKind kind, NodeId node, std::uint64_t a,
                            std::uint64_t b) {
   TraceEvent ev;
-  ev.when = world_ ? world_->scheduler().now() : 0;
+  if (clock_) {
+    ev.when = clock_();
+  } else if (world_ != nullptr) {
+    ev.when = world_->scheduler().now();
+  }
   ev.node = node;
   ev.kind = kind;
   ev.a = a;
@@ -113,25 +120,59 @@ std::uint64_t TraceRecorder::hash() const {
   return h;
 }
 
+std::string TraceRecorder::format_event(const TraceEvent& e) {
+  std::ostringstream os;
+  os << e.when / kMsec << "ms\t";
+  if (e.node == kNoNode) {
+    os << "-";
+  } else {
+    os << "n" << e.node;
+  }
+  os << "\t" << to_string(e.kind) << "\t" << std::hex << e.a << "\t" << e.b
+     << std::dec;
+  return os.str();
+}
+
 std::string TraceRecorder::dump(std::size_t max_lines) const {
   std::ostringstream os;
   std::size_t n = events_.size();
   if (max_lines != 0 && max_lines < n) n = max_lines;
   for (std::size_t i = 0; i < n; ++i) {
-    const TraceEvent& e = events_[i];
-    os << e.when / kMsec << "ms\t";
-    if (e.node == kNoNode) {
-      os << "-";
-    } else {
-      os << "n" << e.node;
-    }
-    os << "\t" << to_string(e.kind) << "\t" << std::hex << e.a << "\t" << e.b
-       << std::dec << "\n";
+    os << format_event(events_[i]) << "\n";
   }
   if (n < events_.size()) {
     os << "... (" << events_.size() - n << " more)\n";
   }
   return os.str();
+}
+
+void TraceRecorder::save(std::ostream& os) const {
+  for (const TraceEvent& e : events_) {
+    os << e.when << ' ' << e.node << ' '
+       << static_cast<std::uint64_t>(e.kind) << ' ' << std::hex << e.a << ' '
+       << e.b << std::dec << '\n';
+  }
+  os << "hash " << std::hex << hash() << std::dec << '\n';
+}
+
+std::optional<std::vector<TraceEvent>> TraceRecorder::load(std::istream& is) {
+  std::vector<TraceEvent> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string first;
+    ls >> first;
+    if (first == "hash") continue;  // trailer; the events are the record
+    TraceEvent e;
+    std::uint64_t kind = 0;
+    std::istringstream when_s(first);
+    if (!(when_s >> e.when)) return std::nullopt;
+    if (!(ls >> e.node >> kind >> std::hex >> e.a >> e.b)) return std::nullopt;
+    e.kind = static_cast<TraceKind>(kind);
+    out.push_back(e);
+  }
+  return out;
 }
 
 }  // namespace ssr::scenario

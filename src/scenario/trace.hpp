@@ -1,6 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,6 +32,10 @@ enum class TraceKind : std::uint8_t {
   kVsStable,
   kStableMarked,
   kQuiescent,        ///< a = 1 drained / 0 still busy at budget
+  kNodePaused,       ///< SIGSTOP (process) / fabric isolation (sim)
+  kNodeResumed,      ///< SIGCONT (process) / fabric rejoin (sim)
+  kNodeSample,       ///< process backend poll: a = config digest,
+                     ///< b = bit0 participant, bit1 noReco
 };
 
 const char* to_string(TraceKind k);
@@ -50,6 +57,10 @@ class TraceRecorder {
   void attach(harness::World& world);
   void attach_node(harness::World& world, NodeId id);
 
+  /// World-less time source (process backend: wall clock since run start).
+  /// When set it wins over the attached world's scheduler.
+  void set_clock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
+
   void record(TraceKind kind, NodeId node, std::uint64_t a = 0,
               std::uint64_t b = 0);
 
@@ -59,6 +70,17 @@ class TraceRecorder {
   /// Human-readable dump of up to `max_lines` events (0 = all).
   std::string dump(std::size_t max_lines = 0) const;
 
+  /// Machine-readable golden format for `scenario_runner --record/--diff`:
+  /// one "when node kind a b" line per event (decimal when/node/kind, hex
+  /// a/b), terminated by a "hash <hex>" line.
+  void save(std::ostream& os) const;
+  /// Parses the save() format; nullopt on any malformed line.
+  static std::optional<std::vector<TraceEvent>> load(std::istream& is);
+
+  /// One-line rendering of one event (shared by dump() and the --diff
+  /// divergence report).
+  static std::string format_event(const TraceEvent& e);
+
   /// FNV-1a over an arbitrary byte-less word sequence — exposed so callers
   /// digest configs/views consistently with the recorder itself.
   static std::uint64_t mix(std::uint64_t h, std::uint64_t x);
@@ -66,6 +88,7 @@ class TraceRecorder {
 
  private:
   harness::World* world_ = nullptr;
+  std::function<SimTime()> clock_;
   std::vector<TraceEvent> events_;
 };
 

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ssr {
+
+/// System-wide monotonic microseconds (steady_clock). Every process on one
+/// machine reads the same clock, so intervals stamped in one daemon are
+/// directly comparable with another's — the cross-process counter-order
+/// check and the process scenario backend both rely on exactly that.
+inline std::uint64_t steady_usec() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace ssr

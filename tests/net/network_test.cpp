@@ -117,6 +117,28 @@ TEST(Network, SplitBlocksCrossTrafficUntilHealed) {
   EXPECT_EQ(at3, 1u);
 }
 
+TEST(Network, IsolationIsOrthogonalToPartitions) {
+  // isolate/rejoin model SIGSTOP/SIGCONT on the process backend: pausing a
+  // node must not eat partition blocks, and healing a partition must not
+  // resume a paused node.
+  Fixture f;
+  f.net.split({1, 2}, {3, 4});
+  f.net.isolate(2);
+  EXPECT_TRUE(f.net.blocked(2, 1));  // isolation cuts within the partition
+  EXPECT_TRUE(f.net.blocked(2, 3));
+  f.net.rejoin(2);
+  EXPECT_FALSE(f.net.blocked(2, 1));  // isolation gone...
+  EXPECT_TRUE(f.net.blocked(2, 3));   // ...but the split block survived
+  EXPECT_TRUE(f.net.blocked(1, 4));
+
+  f.net.isolate(2);
+  f.net.heal();
+  EXPECT_FALSE(f.net.blocked(1, 3));  // partition healed
+  EXPECT_TRUE(f.net.blocked(2, 1));   // the paused node stays unreachable
+  f.net.rejoin(2);
+  EXPECT_FALSE(f.net.blocked(2, 1));
+}
+
 TEST(Network, InFlightPacketsSurviveAPartitionCut) {
   Fixture f;
   std::size_t delivered = 0;

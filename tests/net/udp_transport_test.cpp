@@ -66,6 +66,145 @@ TEST(UdpEnvelope, RejectsGarbageAndTruncation) {
       UdpTransport::decode_envelope(trailing.data(), trailing.size()));
 }
 
+// Table-driven hostile-envelope sweep: every single-bit flip over the whole
+// datagram and a version skew table. A flip inside the framing (magic,
+// version, length) must be rejected; a flip inside src/dst/payload yields a
+// well-formed envelope with different content — either way decode must not
+// crash and must never return a packet whose payload length disagrees with
+// the framing.
+TEST(UdpEnvelope, TableDrivenBitFlipsNeverCrashOrMisframe) {
+  const wire::Bytes payload{0x10, 0x20, 0x30, 0x40, 0x50};
+  const wire::Bytes good = UdpTransport::encode_envelope(3, 4, payload);
+  std::size_t rejected = 0;
+  for (std::size_t byte = 0; byte < good.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      wire::Bytes flipped = good;
+      flipped[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      auto pkt = UdpTransport::decode_envelope(flipped.data(), flipped.size());
+      if (!pkt.has_value()) {
+        ++rejected;
+        continue;
+      }
+      EXPECT_EQ(pkt->payload.size(), payload.size())
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+  // Everything in the magic/version/length region must have been rejected.
+  EXPECT_GE(rejected, (4 + 1 + 4) * 8u);
+
+  for (int version : {0, 2, 17, 255}) {
+    wire::Bytes d = good;
+    d[4] = static_cast<std::uint8_t>(version);
+    EXPECT_FALSE(UdpTransport::decode_envelope(d.data(), d.size()))
+        << "accepted version " << version;
+  }
+
+  // Truncation table: every prefix of a valid datagram is rejected.
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_FALSE(UdpTransport::decode_envelope(good.data(), len))
+        << "accepted truncated length " << len;
+  }
+}
+
+// The same sweep through a real socket: hostile datagrams only ever move
+// the drop counters, and the transport keeps delivering afterwards.
+TEST(UdpTransport, HostileDatagramSweepCountsCleanDrops) {
+  UdpTransport t(self_only(1));
+  std::size_t delivered = 0;
+  t.attach(1, [&](const Packet&) { ++delivered; });
+
+  const int raw = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(raw, 0);
+  sockaddr_in to{};
+  to.sin_family = AF_INET;
+  to.sin_port = htons(t.local_port());
+  to.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  const wire::Bytes good = UdpTransport::encode_envelope(5, 1, {1, 2, 3});
+
+  // One datagram per magic/version-byte bit flip (all must drop as
+  // malformed — a flipped src/dst would decode fine), plus two truncations.
+  std::size_t fired = 0;
+  for (std::size_t byte = 0; byte < 4 + 1; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      wire::Bytes d = good;
+      d[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      ASSERT_EQ(::sendto(raw, d.data(), d.size(), 0,
+                         reinterpret_cast<sockaddr*>(&to), sizeof(to)),
+                static_cast<ssize_t>(d.size()));
+      ++fired;
+    }
+  }
+  for (std::size_t cut : {1u, 7u}) {
+    wire::Bytes d = good;
+    d.resize(d.size() - cut);
+    ASSERT_EQ(::sendto(raw, d.data(), d.size(), 0,
+                       reinterpret_cast<sockaddr*>(&to), sizeof(to)),
+              static_cast<ssize_t>(d.size()));
+    ++fired;
+  }
+  ::close(raw);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline &&
+         t.stats().dropped_malformed < fired) {
+    t.poll_once(kMsec);
+  }
+  EXPECT_EQ(t.stats().dropped_malformed, fired);
+  EXPECT_EQ(t.stats().dropped_unattached, 0u);
+  EXPECT_EQ(delivered, 0u);
+
+  t.send(1, 1, wire::Bytes{9});
+  const auto deadline2 =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (std::chrono::steady_clock::now() < deadline2 && delivered == 0) {
+    t.poll_once(kMsec);
+  }
+  EXPECT_EQ(delivered, 1u);
+}
+
+TEST(UdpTransport, BlockedPeerFilterCutsBothDirections) {
+  UdpTransport a(self_only(1)), b(self_only(2));
+  a.set_peer(2, UdpEndpoint{"127.0.0.1", b.local_port()});
+  b.set_peer(1, UdpEndpoint{"127.0.0.1", a.local_port()});
+  std::size_t a_got = 0, b_got = 0;
+  a.attach(1, [&](const Packet&) { ++a_got; });
+  b.attach(2, [&](const Packet&) { ++b_got; });
+
+  a.set_blocked({2});
+  a.send(1, 2, wire::Bytes{1});       // suppressed at the sender
+  b.send(2, 1, wire::Bytes{2});       // dropped at a's receive side
+  pump(a, b, [&] { return a.stats().filtered_in >= 1; }, 2000);
+  EXPECT_EQ(a.stats().filtered_out, 1u);
+  EXPECT_EQ(a.stats().filtered_in, 1u);
+  EXPECT_EQ(a_got, 0u);
+  EXPECT_EQ(b_got, 0u);
+
+  // Healing the filter restores both directions.
+  a.set_blocked({});
+  a.send(1, 2, wire::Bytes{3});
+  b.send(2, 1, wire::Bytes{4});
+  EXPECT_TRUE(pump(a, b, [&] { return a_got >= 1 && b_got >= 1; }, 2000));
+}
+
+TEST(UdpTransport, LearnsPeerAddressFromIncomingDatagrams) {
+  // b starts with no route to a (a's entry would normally come from the
+  // peers file); one well-formed datagram from a teaches it.
+  UdpTransport a(self_only(1)), b(self_only(2));
+  a.set_peer(2, UdpEndpoint{"127.0.0.1", b.local_port()});
+  std::size_t a_got = 0, b_got = 0;
+  a.attach(1, [&](const Packet&) { ++a_got; });
+  b.attach(2, [&](const Packet&) { ++b_got; });
+
+  EXPECT_FALSE(b.has_peer(1));
+  a.send(1, 2, wire::Bytes{7});
+  ASSERT_TRUE(pump(a, b, [&] { return b_got >= 1; }, 2000));
+  EXPECT_TRUE(b.has_peer(1));
+
+  b.send(2, 1, wire::Bytes{8});  // reply over the learned route
+  EXPECT_TRUE(pump(a, b, [&] { return a_got >= 1; }, 2000));
+}
+
 TEST(UdpTransport, DeliversBetweenTwoEndpoints) {
   UdpTransport a(self_only(1)), b(self_only(2));
   a.set_peer(2, UdpEndpoint{"127.0.0.1", b.local_port()});

@@ -1,0 +1,71 @@
+// Seed-sweep property: a (spec, seed) pair names exactly one execution.
+// Sweeping seeds 1..20 over three library scenarios asserts the two halves
+// of that contract at scale:
+//  * stability  — re-running a seed reproduces the identical trace hash,
+//    event count and virtual end time;
+//  * divergence — any two different seeds produce different hashes (the
+//    channel delays alone reshuffle every delivery, and a 64-bit FNV
+//    collision across 20 seeds would itself be a red flag).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "scenario/library.hpp"
+#include "scenario/runner.hpp"
+
+namespace ssr::scenario {
+namespace {
+
+constexpr std::uint64_t kFirstSeed = 1;
+constexpr std::uint64_t kLastSeed = 20;
+
+class SeedSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SeedSweep, HashesStablePerSeedAndDistinctAcrossSeeds) {
+  auto spec = find_scenario(GetParam());
+  ASSERT_TRUE(spec.has_value()) << GetParam();
+
+  std::map<std::uint64_t, ScenarioResult> by_seed;
+  for (std::uint64_t seed = kFirstSeed; seed <= kLastSeed; ++seed) {
+    ScenarioResult r = run_scenario(*spec, seed);
+    EXPECT_TRUE(r.ok) << r.summary();
+    by_seed.emplace(seed, std::move(r));
+  }
+
+  // Divergence: every pair of seeds yields a different execution.
+  for (auto a = by_seed.begin(); a != by_seed.end(); ++a) {
+    for (auto b = std::next(a); b != by_seed.end(); ++b) {
+      EXPECT_NE(a->second.trace_hash, b->second.trace_hash)
+          << GetParam() << ": seeds " << a->first << " and " << b->first
+          << " collided";
+    }
+  }
+
+  // Stability: spot-check seeds reproduce byte-identically on a second lap
+  // (the full determinism machinery is seed-agnostic; replay_test covers
+  // the remaining scenarios at depth).
+  for (std::uint64_t seed : {kFirstSeed, (kFirstSeed + kLastSeed) / 2,
+                             kLastSeed}) {
+    const ScenarioResult again = run_scenario(*spec, seed);
+    const ScenarioResult& first = by_seed.at(seed);
+    EXPECT_EQ(first.trace_hash, again.trace_hash) << GetParam() << " seed "
+                                                  << seed;
+    EXPECT_EQ(first.trace_events, again.trace_events);
+    EXPECT_EQ(first.sim_time, again.sim_time);
+    EXPECT_EQ(first.sched_events, again.sched_events);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Library, SeedSweep,
+                         ::testing::Values("majority-split", "epoch-rollover",
+                                           "garbage-channel-recovery"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& ch : n) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace ssr::scenario

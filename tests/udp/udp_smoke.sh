@@ -3,6 +3,12 @@
 # every one to report the common configuration {1,2,3} and for node 1 to
 # complete a counter increment, then tear everything down.
 #
+# Ports are never guessed: every daemon binds port 0, reports the
+# OS-assigned port through --port-file, and this script publishes the
+# complete map with one atomic rewrite of the shared peers file — the
+# daemons poll the file (and learn addresses from incoming datagrams) until
+# every entry is resolved. Concurrent runs can no longer collide.
+#
 #   udp_smoke.sh <path-to-ssr_node> [timeout-seconds]
 set -u
 
@@ -20,21 +26,39 @@ cleanup() {
 }
 trap cleanup EXIT
 
-# A PID- and RANDOM-derived base port keeps concurrent CI runs apart;
-# capped below 32768 to stay out of the Linux ephemeral port range.
-BASE=$((10000 + ($$ * 13 + RANDOM) % 22000))
+# Everyone starts with an all-zero map and discovers their own port.
 {
-  echo "1 127.0.0.1 $BASE"
-  echo "2 127.0.0.1 $((BASE + 1))"
-  echo "3 127.0.0.1 $((BASE + 2))"
+  echo "1 127.0.0.1 0"
+  echo "2 127.0.0.1 0"
+  echo "3 127.0.0.1 0"
 } > "$DIR/peers.txt"
 
 for id in 1 2 3; do
   inc=0
   [ "$id" -eq 1 ] && inc=1
-  "$BIN" --id "$id" --peers "$DIR/peers.txt" --seconds "$TIMEOUT" \
-    --increments "$inc" > "$DIR/n$id.log" 2>&1 &
+  "$BIN" --id "$id" --peers "$DIR/peers.txt" --port-file "$DIR/port.$id" \
+    --seconds "$TIMEOUT" --increments "$inc" > "$DIR/n$id.log" 2>&1 &
   PIDS+=("$!")
+done
+
+# Collect the assigned ports and publish the completed map atomically.
+port_deadline=$((SECONDS + 20))
+while :; do
+  if [ -s "$DIR/port.1" ] && [ -s "$DIR/port.2" ] && [ -s "$DIR/port.3" ]; then
+    {
+      echo "1 127.0.0.1 $(awk '{print $1}' "$DIR/port.1")"
+      echo "2 127.0.0.1 $(awk '{print $1}' "$DIR/port.2")"
+      echo "3 127.0.0.1 $(awk '{print $1}' "$DIR/port.3")"
+    } > "$DIR/peers.txt.tmp"
+    mv "$DIR/peers.txt.tmp" "$DIR/peers.txt"
+    break
+  fi
+  if [ "$SECONDS" -ge "$port_deadline" ]; then
+    echo "udp_smoke: FAIL — daemons never reported their ports"
+    tail -n 25 "$DIR"/n*.log 2>/dev/null
+    exit 1
+  fi
+  sleep 0.2
 done
 
 deadline=$((SECONDS + TIMEOUT))
@@ -46,7 +70,7 @@ while [ "$SECONDS" -lt "$deadline" ]; do
     echo "udp_smoke: OK ($(grep -h ^CONVERGED "$DIR"/n*.log | tr '\n' ' '))"
     exit 0
   fi
-  # Bail out early if a daemon died (port clash, assertion, ...).
+  # Bail out early if a daemon died (assertion, bad binary, ...).
   for pid in "${PIDS[@]}"; do
     if ! kill -0 "$pid" 2>/dev/null; then
       echo "udp_smoke: FAIL — a node exited early"

@@ -1,95 +1,278 @@
-// scenario_runner — run named scenarios from the library against the
-// deterministic simulator.
+// scenario_runner — run named scenarios from the library against either
+// execution backend.
 //
 //   scenario_runner --list                 enumerate scenarios
-//   scenario_runner --run NAME [--seed N]  run one scenario
+//   scenario_runner --run NAME [--run NAME2 ...] [--seed N]
 //   scenario_runner --all [--seed N]       run every scenario
 //   scenario_runner --trace K              also dump the first K trace events
 //
+// Backend selection:
+//   --backend sim            deterministic in-process simulator (default)
+//   --backend process        one real ssr_node OS process per node over
+//                            localhost UDP; requires --node-bin
+//   --node-bin PATH          path to the ssr_node binary
+//   --time-scale X           wall seconds per simulated second (default .05)
+//   --work-dir DIR           scratch/log directory (default: mkdtemp)
+//   --keep-logs              keep the scratch directory even on success
+//
+// Trace tooling (simulator backend, single --run):
+//   --record FILE            save the trace event stream + hash to FILE
+//   --diff FILE              re-run and report the first event where the
+//                            current trace diverges from the recorded one
+//
 // Exit status: 0 when every run met its awaits with zero invariant
-// violations, 1 otherwise (2 on usage errors).
+// violations (and, under --diff, the traces match), 1 otherwise (2 on
+// usage errors).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "scenario/library.hpp"
 #include "scenario/runner.hpp"
+#ifdef __unix__
+#include "scenario/process_runner.hpp"
+#endif
 
 namespace {
 
+using namespace ssr;
+using namespace ssr::scenario;
+
+struct CliOptions {
+  bool list = false;
+  bool all = false;
+  std::vector<std::string> names;
+  std::uint64_t seed = 1;
+  std::size_t trace_lines = 0;
+  std::string backend = "sim";
+  std::string node_bin;
+  double time_scale = 0.05;
+  std::string work_dir;
+  bool keep_logs = false;
+  std::string record_path;
+  std::string diff_path;
+};
+
 void list_scenarios() {
-  for (const auto& s : ssr::scenario::library()) {
+  for (const auto& s : library()) {
     std::printf("%-26s %zu nodes%s  %s\n", s.name.c_str(), s.initial_nodes,
                 s.enable_vs ? " +vs" : "    ", s.description.c_str());
   }
 }
 
-bool run_one(const ssr::scenario::ScenarioSpec& spec, std::uint64_t seed,
-             std::size_t trace_lines) {
-  ssr::scenario::ScenarioRunner runner(spec, seed);
-  ssr::scenario::ScenarioResult r = runner.run();
-  std::printf("%s\n", r.summary().c_str());
-  if (trace_lines > 0) {
-    std::printf("%s", runner.trace().dump(trace_lines).c_str());
+std::unique_ptr<ScenarioBackend> make_backend(const ScenarioSpec& spec,
+                                              const CliOptions& cli) {
+  if (cli.backend == "process") {
+#ifdef __unix__
+    ProcessBackendOptions opt;
+    opt.node_binary = cli.node_bin;
+    // One subdirectory per scenario so multi-run invocations don't clobber
+    // each other's peer maps and logs.
+    opt.work_dir =
+        cli.work_dir.empty() ? "" : cli.work_dir + "/" + spec.name;
+    opt.keep_dir = cli.keep_logs;
+    opt.time_scale = cli.time_scale;
+    opt.seed = cli.seed;
+    return std::make_unique<ProcessRunner>(spec, std::move(opt));
+#else
+    return nullptr;
+#endif
   }
-  return r.ok;
+  return std::make_unique<ScenarioRunner>(spec, cli.seed);
+}
+
+/// Runs one spec; prints the summary (and, under the process backend, where
+/// the logs live when the run failed).
+bool run_one(const ScenarioSpec& spec, const CliOptions& cli) {
+  auto backend = make_backend(spec, cli);
+  if (!backend) {
+    std::fprintf(stderr, "backend '%s' is not available on this platform\n",
+                 cli.backend.c_str());
+    return false;
+  }
+  const ScenarioResult r = backend->run();
+  std::printf("%s\n", r.summary().c_str());
+  if (cli.trace_lines > 0) {
+    std::printf("%s", backend->trace().dump(cli.trace_lines).c_str());
+  }
+#ifdef __unix__
+  if (!r.ok && cli.backend == "process") {
+    auto* pr = dynamic_cast<ProcessRunner*>(backend.get());
+    if (pr != nullptr) {
+      std::printf("  logs kept in %s\n", pr->work_dir().c_str());
+    }
+  }
+#endif
+
+  bool ok = r.ok;
+  if (!cli.record_path.empty()) {
+    std::ofstream out(cli.record_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", cli.record_path.c_str());
+      return false;
+    }
+    backend->trace().save(out);
+    std::printf("recorded %zu events to %s\n", r.trace_events,
+                cli.record_path.c_str());
+  }
+  if (!cli.diff_path.empty()) {
+    std::ifstream in(cli.diff_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read '%s'\n", cli.diff_path.c_str());
+      return false;
+    }
+    auto golden = TraceRecorder::load(in);
+    if (!golden) {
+      std::fprintf(stderr, "'%s' is not a recorded trace\n",
+                   cli.diff_path.c_str());
+      return false;
+    }
+    const auto& current = backend->trace().events();
+    const std::size_t n = std::min(golden->size(), current.size());
+    std::size_t at = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const TraceEvent& g = (*golden)[i];
+      const TraceEvent& c = current[i];
+      if (g.when != c.when || g.node != c.node || g.kind != c.kind ||
+          g.a != c.a || g.b != c.b) {
+        at = i;
+        break;
+      }
+    }
+    if (at == n && golden->size() == current.size()) {
+      std::printf("traces identical (%zu events)\n", current.size());
+    } else if (at == n) {
+      std::printf("traces diverge at event %zu: one stream ends "
+                  "(recorded %zu events, current %zu)\n",
+                  n, golden->size(), current.size());
+      ok = false;
+    } else {
+      std::printf("traces diverge at event %zu:\n  recorded: %s\n"
+                  "  current:  %s\n",
+                  at, TraceRecorder::format_event((*golden)[at]).c_str(),
+                  TraceRecorder::format_event(current[at]).c_str());
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: scenario_runner --list\n"
-               "       scenario_runner --run NAME [--seed N] [--trace K]\n"
-               "       scenario_runner --all [--seed N] [--trace K]\n");
+  std::fprintf(
+      stderr,
+      "usage: scenario_runner --list\n"
+      "       scenario_runner (--run NAME)... | --all  [options]\n"
+      "options:\n"
+      "  --seed N          runner seed (default 1)\n"
+      "  --trace K         dump the first K trace events\n"
+      "  --backend B       sim (default) | process\n"
+      "  --node-bin PATH   ssr_node binary (process backend)\n"
+      "  --time-scale X    wall seconds per sim second (process backend)\n"
+      "  --work-dir DIR    scratch/log dir (process backend)\n"
+      "  --keep-logs       keep the scratch dir on success too\n"
+      "  --record FILE     save the trace stream (single --run)\n"
+      "  --diff FILE       compare against a recorded trace (single --run)\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool list = false;
-  bool all = false;
-  std::string name;
-  std::uint64_t seed = 1;
-  std::size_t trace_lines = 0;
-
+  CliOptions cli;
+  // Accept both "--flag value" and "--flag=value".
+  std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      args.push_back(arg.substr(0, eq));
+      args.push_back(arg.substr(eq + 1));
+    } else {
+      args.push_back(arg);
+    }
+  }
+  const int nargs = static_cast<int>(args.size());
+  for (int i = 0; i < nargs; ++i) {
+    const std::string& arg = args[i];
     if (arg == "--list") {
-      list = true;
+      cli.list = true;
     } else if (arg == "--all") {
-      all = true;
-    } else if (arg == "--run" && i + 1 < argc) {
-      name = argv[++i];
-    } else if (arg == "--seed" && i + 1 < argc) {
-      seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (arg == "--trace" && i + 1 < argc) {
-      trace_lines = std::strtoull(argv[++i], nullptr, 10);
+      cli.all = true;
+    } else if (arg == "--run" && i + 1 < nargs) {
+      cli.names.push_back(args[++i]);
+    } else if (arg == "--seed" && i + 1 < nargs) {
+      cli.seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (arg == "--trace" && i + 1 < nargs) {
+      cli.trace_lines = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (arg == "--backend" && i + 1 < nargs) {
+      cli.backend = args[++i];
+    } else if (arg == "--node-bin" && i + 1 < nargs) {
+      cli.node_bin = args[++i];
+    } else if (arg == "--time-scale" && i + 1 < nargs) {
+      cli.time_scale = std::strtod(args[++i].c_str(), nullptr);
+    } else if (arg == "--work-dir" && i + 1 < nargs) {
+      cli.work_dir = args[++i];
+    } else if (arg == "--keep-logs") {
+      cli.keep_logs = true;
+    } else if (arg == "--record" && i + 1 < nargs) {
+      cli.record_path = args[++i];
+    } else if (arg == "--diff" && i + 1 < nargs) {
+      cli.diff_path = args[++i];
     } else {
       return usage();
     }
   }
 
-  if (list) {
+  if (cli.backend != "sim" && cli.backend != "process") {
+    std::fprintf(stderr, "unknown backend '%s'\n", cli.backend.c_str());
+    return 2;
+  }
+  if (cli.backend == "process" && cli.node_bin.empty()) {
+    std::fprintf(stderr, "--backend process requires --node-bin\n");
+    return 2;
+  }
+  if ((!cli.record_path.empty() || !cli.diff_path.empty()) &&
+      (cli.all || cli.names.size() != 1)) {
+    std::fprintf(stderr, "--record/--diff need exactly one --run\n");
+    return 2;
+  }
+  if ((!cli.record_path.empty() || !cli.diff_path.empty()) &&
+      cli.backend != "sim") {
+    // Process-backend timestamps are wall clock; a diff would always
+    // diverge at event 0.
+    std::fprintf(stderr,
+                 "--record/--diff work on the deterministic sim backend\n");
+    return 2;
+  }
+
+  if (cli.list) {
     list_scenarios();
     return 0;
   }
-  if (all) {
+  if (cli.all) {
     bool ok = true;
-    for (const auto& s : ssr::scenario::library()) {
-      ok = run_one(s, seed, trace_lines) && ok;
+    for (const auto& s : library()) {
+      ok = run_one(s, cli) && ok;
     }
     return ok ? 0 : 1;
   }
-  if (!name.empty()) {
-    auto spec = ssr::scenario::find_scenario(name);
-    if (!spec) {
-      std::fprintf(stderr, "unknown scenario '%s' (try --list)\n",
-                   name.c_str());
-      return 2;
+  if (!cli.names.empty()) {
+    bool ok = true;
+    for (const std::string& name : cli.names) {
+      auto spec = find_scenario(name);
+      if (!spec) {
+        std::fprintf(stderr, "unknown scenario '%s' (try --list)\n",
+                     name.c_str());
+        return 2;
+      }
+      ok = run_one(*spec, cli) && ok;
     }
-    return run_one(*spec, seed, trace_lines) ? 0 : 1;
+    return ok ? 0 : 1;
   }
   return usage();
 }
