@@ -13,6 +13,8 @@
 // envelopes): Arg(0) grows the buffer per field, Arg(1) reserves once.
 #include <benchmark/benchmark.h>
 
+#include <time.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -20,8 +22,11 @@
 #include <map>
 #include <new>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "dlink/token_link.hpp"
+#include "label/label_store.hpp"
 #include "net/channel.hpp"
 #include "scenario/library.hpp"
 #include "scenario/runner.hpp"
@@ -79,6 +84,9 @@ struct ScenarioAgg {
   double packets_delivered = 0;
   double pool_acquired = 0;
   double pool_reused = 0;
+  double ops_completed = 0;
+  double op_p50_us = 0;
+  double op_p99_us = 0;
 };
 
 std::map<std::string, ScenarioAgg>& metrics() {
@@ -117,6 +125,9 @@ void run_named(benchmark::State& state, const char* name) {
     local.packets_delivered += static_cast<double>(r.packets_delivered);
     local.pool_acquired += static_cast<double>(r.pool_acquired);
     local.pool_reused += static_cast<double>(r.pool_reused);
+    local.ops_completed += static_cast<double>(r.ops_completed);
+    local.op_p50_us += static_cast<double>(r.op_p50_us);
+    local.op_p99_us += static_cast<double>(r.op_p99_us);
   }
   ScenarioAgg& agg = metrics()[name];
   agg.iterations += local.iterations;
@@ -128,6 +139,9 @@ void run_named(benchmark::State& state, const char* name) {
   agg.packets_delivered += local.packets_delivered;
   agg.pool_acquired += local.pool_acquired;
   agg.pool_reused += local.pool_reused;
+  agg.ops_completed += local.ops_completed;
+  agg.op_p50_us += local.op_p50_us;
+  agg.op_p99_us += local.op_p99_us;
   const double it = static_cast<double>(state.iterations());
   state.counters["sim_ms"] = benchmark::Counter(local.sim_ms / it);
   state.counters["trace_events"] = benchmark::Counter(local.trace_events / it);
@@ -137,6 +151,22 @@ void run_named(benchmark::State& state, const char* name) {
   state.counters["pool_hit_pct"] = benchmark::Counter(
       local.pool_acquired > 0 ? 100.0 * local.pool_reused / local.pool_acquired
                               : 0);
+  if (local.ops_completed > 0) {
+    state.counters["op_p50_us"] = benchmark::Counter(local.op_p50_us / it);
+    state.counters["op_p99_us"] = benchmark::Counter(local.op_p99_us / it);
+  }
+}
+
+struct ShardedAgg {
+  int iterations = 0;
+  double wall_ms = 0;
+  double agg_events = 0;   // scheduler events summed over every shard
+  double max_cpu_sec = 0;  // slowest shard's thread CPU time, summed per iter
+};
+
+std::map<int, ShardedAgg>& sharded_metrics() {
+  static std::map<int, ShardedAgg> m;
+  return m;
 }
 
 void write_json(const char* path) {
@@ -155,15 +185,45 @@ void write_json(const char* path) {
                  "\"trace_events\": %.1f, \"sched_events\": %.1f, "
                  "\"events_per_sec\": %.1f, "
                  "\"packets_sent\": %.1f, \"packets_delivered\": %.1f, "
-                 "\"pool_acquired\": %.1f, \"pool_reused\": %.1f}",
+                 "\"pool_acquired\": %.1f, \"pool_reused\": %.1f, "
+                 "\"ops_completed\": %.1f, "
+                 "\"op_p50_us\": %.1f, \"op_p99_us\": %.1f}",
                  first ? "" : ",\n", name.c_str(), a.iterations,
                  a.wall_ms / it, a.sim_ms / it, a.trace_events / it,
                  a.sched_events / it, events_per_sec, a.packets_sent / it,
                  a.packets_delivered / it, a.pool_acquired / it,
-                 a.pool_reused / it);
+                 a.pool_reused / it, a.ops_completed / it, a.op_p50_us / it,
+                 a.op_p99_us / it);
     first = false;
   }
-  std::fprintf(f, "\n  ]\n}\n");
+  std::fprintf(f, "\n  ]");
+  if (!sharded_metrics().empty()) {
+    // Aggregate capacity normalized by the slowest shard's CPU time (see
+    // BM_ShardedThroughput); speedup_vs_1shard is the headline shared-
+    // nothing scaling number the CI bench diff watches.
+    double base = 0;
+    if (auto it = sharded_metrics().find(1);
+        it != sharded_metrics().end() && it->second.max_cpu_sec > 0) {
+      base = it->second.agg_events / it->second.max_cpu_sec;
+    }
+    std::fprintf(f, ",\n  \"sharded_throughput\": [\n");
+    bool first = true;
+    for (const auto& [shards, a] : sharded_metrics()) {
+      if (a.iterations == 0 || a.max_cpu_sec <= 0) continue;
+      const double per_cpu = a.agg_events / a.max_cpu_sec;
+      std::fprintf(f,
+                   "%s    {\"shards\": %d, \"iterations\": %d, "
+                   "\"wall_ms\": %.3f, \"agg_sched_events\": %.1f, "
+                   "\"agg_events_per_cpu_sec\": %.1f, "
+                   "\"speedup_vs_1shard\": %.3f}",
+                   first ? "" : ",\n", shards, a.iterations,
+                   a.wall_ms / a.iterations, a.agg_events / a.iterations,
+                   per_cpu, base > 0 ? per_cpu / base : 0);
+      first = false;
+    }
+    std::fprintf(f, "\n  ]");
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path);
 }
@@ -191,6 +251,93 @@ BENCHMARK(BM_ScenarioMajoritySplit)
 BENCHMARK(BM_ScenarioPartitionHeal)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
+
+// --- Sharded throughput -----------------------------------------------------
+
+double thread_cpu_sec() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// K shards, one thread per shard, each running an identical
+/// converge-then-increment script in its own fully independent World. The
+/// sharded service shares nothing across shards — no lock, no common
+/// scheduler, thread-local buffer pools — so aggregate capacity should
+/// scale with the number of cores you give it.
+///
+/// This host may have a single core, so the headline metric is CPU-time
+/// normalized: aggregate scheduler events divided by the *slowest* shard's
+/// thread CPU seconds. That is the events/sec a K-core deployment would
+/// sustain (each shard pinned to a core and gated by the slowest one) —
+/// a capacity-per-core projection, not a wall-clock measurement; wall time
+/// on an N-core host is reported separately and scales only up to N.
+void BM_ShardedThroughput(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  scenario::ScenarioSpec spec;
+  spec.name = "sharded-throughput";
+  spec.initial_nodes = 3;
+  spec.phases = {
+      {"load",
+       {scenario::Action::await_converged(90 * kSec),
+        scenario::Action::increment_burst(16),
+        scenario::Action::run_for(10 * kSec)}}};
+  ShardedAgg local;
+  std::uint64_t seed = 4200;
+  for (auto _ : state) {
+    const auto wall_start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    std::vector<double> cpu(static_cast<std::size_t>(shards), 0.0);
+    std::vector<double> events(static_cast<std::size_t>(shards), 0.0);
+    std::vector<char> ok(static_cast<std::size_t>(shards), 0);
+    const std::uint64_t base_seed = seed++;
+    threads.reserve(static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+      threads.emplace_back([&, s] {
+        const double c0 = thread_cpu_sec();
+        const scenario::ScenarioResult r = scenario::run_scenario(
+            spec, base_seed + 0x9E3779B97F4A7C15ULL *
+                                  static_cast<std::uint64_t>(s + 1));
+        cpu[static_cast<std::size_t>(s)] = thread_cpu_sec() - c0;
+        events[static_cast<std::size_t>(s)] =
+            static_cast<double>(r.sched_events);
+        ok[static_cast<std::size_t>(s)] = r.ok ? 1 : 0;
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (char o : ok) {
+      if (o == 0) {
+        state.SkipWithError("a shard's scenario failed");
+        return;
+      }
+    }
+    ++local.iterations;
+    local.wall_ms += std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - wall_start)
+                         .count();
+    double iter_events = 0, iter_max_cpu = 0;
+    for (int s = 0; s < shards; ++s) {
+      iter_events += events[static_cast<std::size_t>(s)];
+      iter_max_cpu = std::max(iter_max_cpu, cpu[static_cast<std::size_t>(s)]);
+    }
+    local.agg_events += iter_events;
+    local.max_cpu_sec += iter_max_cpu;
+  }
+  ShardedAgg& agg = sharded_metrics()[shards];
+  agg.iterations += local.iterations;
+  agg.wall_ms += local.wall_ms;
+  agg.agg_events += local.agg_events;
+  agg.max_cpu_sec += local.max_cpu_sec;
+  state.counters["agg_events_per_cpu_sec"] = benchmark::Counter(
+      local.max_cpu_sec > 0 ? local.agg_events / local.max_cpu_sec : 0);
+}
+BENCHMARK(BM_ShardedThroughput)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Iterations(2);
 
 // --- Allocation micro-bench -------------------------------------------------
 
@@ -240,6 +387,49 @@ void BM_ChannelSendAlloc(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ChannelSendAlloc);
+
+/// Steady-state PairStore::maintain(): after the store has adopted a stable
+/// maximal label and every peer's max entry sits merged in its creator's
+/// queue, a receipt→maintain round must not touch the heap — the dedupe
+/// pass runs in place, duplicate merges assign into existing storage, and
+/// the adoption step reuses a scratch pair. Same contract (and the same
+/// loud CI failure) as BM_ChannelSendAlloc.
+void BM_PairStoreMaintainAlloc(benchmark::State& state) {
+  using label::Label;
+  using label::LabelPair;
+  label::LabelStore store(1, label::StoreConfig{}, Rng(42));
+  store.rebuild(IdSet{1, 2, 3});
+  // Stable legit labels from both peers; creator 3's label is the maximal
+  // one the store keeps adopting.
+  const LabelPair from2 = LabelPair::of(Label{2, 7, {1, 2, 3}});
+  const LabelPair from3 = LabelPair::of(Label{3, 9, {4, 5, 6}});
+  const LabelPair none = LabelPair::null();
+  auto round = [&] {
+    store.receipt(from2, none, 2);
+    store.receipt(from3, none, 3);
+    store.refresh();
+  };
+  for (int i = 0; i < 64; ++i) round();  // converge + warm every container
+  std::uint64_t rounds = 0;
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    round();
+    ++rounds;
+  }
+  const std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  state.counters["allocs_per_round"] = benchmark::Counter(
+      rounds > 0 ? static_cast<double>(allocs) / static_cast<double>(rounds)
+                 : 0);
+  state.counters["labels_created"] =
+      benchmark::Counter(static_cast<double>(store.stats().created));
+  if (allocs != 0) {
+    g_alloc_regression = true;
+    state.SkipWithError("steady-state maintain() allocated on the heap");
+  }
+}
+BENCHMARK(BM_PairStoreMaintainAlloc);
 
 // --- Wire encode micro-benches ----------------------------------------------
 

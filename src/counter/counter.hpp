@@ -69,6 +69,12 @@ struct CounterPair {
     if (!o.legit()) return o;
     return Counter::ct_less(*mct, *o.mct) ? o : *this;
   }
+  /// In-place merged_with: `*this = merged_with(o)` without the temporary,
+  /// so a no-op merge (the steady state) performs no allocation.
+  void merge_from(const CounterPair& o) {
+    if (!legit()) return;
+    if (!o.legit() || Counter::ct_less(*mct, *o.mct)) *this = o;
+  }
 
   bool has_foreign_creator(const IdSet& members) const {
     if (mct && !members.contains(mct->lbl.creator)) return true;

@@ -5,13 +5,13 @@ namespace ssr::counter {
 CounterStore::CounterStore(NodeId self, label::StoreConfig cfg, Rng rng)
     : label::PairStore<CounterPair>(
           self, cfg,
-          [this, self](const std::vector<CounterPair>& known) {
+          [this, self](const std::deque<CounterPair>& known) {
             return create(self, rng_, known);
           }),
       rng_(rng) {}
 
 CounterPair CounterStore::create(NodeId self, Rng& rng,
-                                 const std::vector<CounterPair>& known) {
+                                 const std::deque<CounterPair>& known) {
   std::vector<Label> labels;
   for (const CounterPair& cp : known) {
     if (cp.mct) labels.push_back(cp.mct->lbl);

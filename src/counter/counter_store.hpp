@@ -13,7 +13,7 @@ class CounterStore : public label::PairStore<CounterPair> {
 
  private:
   static CounterPair create(NodeId self, Rng& rng,
-                            const std::vector<CounterPair>& known);
+                            const std::deque<CounterPair>& known);
   Rng rng_;
 };
 

@@ -85,6 +85,11 @@ struct LabelPair {
   LabelPair merged_with(const LabelPair& o) const {
     return legit() ? o : *this;
   }
+  /// In-place merged_with: `*this = merged_with(o)` without the temporary,
+  /// so a no-op merge (the steady state) performs no allocation.
+  void merge_from(const LabelPair& o) {
+    if (legit()) *this = o;
+  }
 
   /// cleanLP(): true if ml or cl was created by a non-member.
   bool has_foreign_creator(const IdSet& members) const {

@@ -4,13 +4,13 @@ namespace ssr::label {
 
 LabelStore::LabelStore(NodeId self, StoreConfig cfg, Rng rng)
     : PairStore<LabelPair>(self, cfg,
-                           [this, self](const std::vector<LabelPair>& known) {
+                           [this, self](const std::deque<LabelPair>& known) {
                              return create(self, rng_, known);
                            }),
       rng_(rng) {}
 
 LabelPair LabelStore::create(NodeId self, Rng& rng,
-                             const std::vector<LabelPair>& known) {
+                             const std::deque<LabelPair>& known) {
   // nextLabel() considers both ml and cl of every stored own pair
   // (Algorithm 4.2, line 16 comment).
   std::vector<Label> labels;

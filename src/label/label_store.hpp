@@ -11,7 +11,7 @@ class LabelStore : public PairStore<LabelPair> {
 
  private:
   static LabelPair create(NodeId self, Rng& rng,
-                          const std::vector<LabelPair>& known);
+                          const std::deque<LabelPair>& known);
   Rng rng_;
 };
 

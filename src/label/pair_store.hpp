@@ -30,13 +30,16 @@ struct StoreStats {
 /// and counter pairs (Algorithm 4.3, "adjusted for counter structures").
 ///
 /// Requirements on P: has_main(), legit(), creator(), main() → Label,
-/// same_main(P), cancel_with(Label), merged_with(P),
-/// has_foreign_creator(IdSet), static total_less(P,P), static null().
+/// same_main(P), cancel_with(Label), merge_from(P) (in-place duplicate
+/// resolution), has_foreign_creator(IdSet), static total_less(P,P),
+/// static null().
 template <class P>
 class PairStore {
  public:
   /// Creates a fresh pair greater than all `known` same-creator pairs.
-  using CreateFn = std::function<P(const std::vector<P>& known)>;
+  /// Takes the stored queue directly (rather than a vector copy of it) so
+  /// the steady-state maintenance path never materializes temporaries.
+  using CreateFn = std::function<P(const std::deque<P>& known)>;
 
   PairStore(NodeId self, StoreConfig cfg, CreateFn create)
       : self_(self), cfg_(cfg), create_(std::move(create)) {
@@ -138,26 +141,34 @@ class PairStore {
 
   void dedupe(NodeId j, std::deque<P>& q) {
     (void)j;
-    std::deque<P> out;
-    for (const P& lp : q) {
+    // In place: elements before `i` are the already-deduped prefix (the
+    // "kept" list); a later same-main element merges into the earliest
+    // occurrence and is erased. Mirrors the old copy-out pass exactly —
+    // same merge order, same survivor order — without the temporary deque,
+    // so steady-state maintenance stays allocation-free.
+    for (std::size_t i = 0; i < q.size();) {
       bool merged = false;
-      for (P& kept : out) {
-        if (kept.same_main(lp)) {
-          kept = kept.merged_with(lp);
+      for (std::size_t k = 0; k < i; ++k) {
+        if (q[k].same_main(q[i])) {
+          q[k].merge_from(q[i]);
           merged = true;
           break;
         }
       }
-      if (!merged) out.push_back(lp);
+      if (merged) {
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
     }
     // Two distinct legit labels by one creator: keep the most recent (queue
     // front), cancel is produced later by the notgeq pass if warranted.
     bool legit_seen = false;
-    for (P& lp : out) {
+    for (P& lp : q) {
       if (!lp.legit()) continue;
       if (legit_seen) {
         // Cancel the older legit with the newer as evidence.
-        for (const P& ev : out) {
+        for (const P& ev : q) {
           if (ev.legit() && !(&ev == &lp)) {
             lp.cancel_with(ev.main());
             break;
@@ -166,7 +177,6 @@ class PairStore {
       }
       legit_seen = true;
     }
-    q = std::move(out);
   }
 
   void enforce_capacity(NodeId j, std::deque<P>& q) {
@@ -192,7 +202,7 @@ class PairStore {
       bool exists = false;
       for (P& lp : q) {
         if (lp.same_main(mp)) {
-          lp = lp.merged_with(mp);
+          lp.merge_from(mp);
           exists = true;
           break;
         }
@@ -253,7 +263,11 @@ class PairStore {
       if (best_ptr == nullptr || P::total_less(*best_ptr, mp)) best_ptr = &mp;
     }
     if (best_ptr != nullptr) {
-      const P best = *best_ptr;  // copy before mutating max_
+      // Copy before mutating max_ — into a reusable scratch slot whose
+      // heap blocks (antisting vectors, optionals) persist across calls,
+      // so the adoption step allocates only while the adopted label grows.
+      adopt_scratch_ = *best_ptr;
+      const P& best = adopt_scratch_;
       max_[self_] = best;
       // Epoch-refresh rule (DESIGN.md §3): if one of our *own* cancelled
       // labels still compares above the adopted best (an exhausted epoch we
@@ -291,8 +305,7 @@ class PairStore {
 
   void mint_fresh() {
     auto& q = labels_of(self_);
-    std::vector<P> known(q.begin(), q.end());
-    P fresh = create_(known);
+    P fresh = create_(q);
     ++stats_.created;
     q.push_front(fresh);
     enforce_capacity(self_, q);
@@ -305,6 +318,7 @@ class PairStore {
   IdSet members_;
   std::map<NodeId, P> max_;              // max[] / maxC[]
   std::map<NodeId, std::deque<P>> stored_;  // storedLabels[] / storedCnts[]
+  P adopt_scratch_ = P::null();          // reused by the adoption step
   StoreStats stats_;
 };
 

@@ -32,12 +32,14 @@ std::vector<std::uint8_t> resolve(const UdpEndpoint& ep) {
 
 }  // namespace
 
-wire::Bytes UdpTransport::encode_envelope(NodeId src, NodeId dst,
+wire::Bytes UdpTransport::encode_envelope(std::uint32_t shard, NodeId src,
+                                          NodeId dst,
                                           const wire::Bytes& payload) {
   wire::Writer w;
-  w.reserve(4 + 1 + 4 + 4 + 4 + payload.size());
+  w.reserve(4 + 1 + 4 + 4 + 4 + 4 + payload.size());
   w.u32(kMagic);
   w.u8(kVersion);
+  w.u32(shard);
   w.node_id(src);
   w.node_id(dst);
   w.bytes(payload);
@@ -45,12 +47,13 @@ wire::Bytes UdpTransport::encode_envelope(NodeId src, NodeId dst,
 }
 
 std::optional<Packet> UdpTransport::decode_envelope(const std::uint8_t* data,
-                                                    std::size_t len) {
+                                                    std::size_t len,
+                                                    std::uint32_t* shard_out) {
   // Parsed by hand over the receive buffer: going through wire::Reader
   // would copy the whole datagram once for the Reader and once more for
   // the payload slice — on the hot receive path the payload copy is the
   // only one allowed.
-  constexpr std::size_t kHeader = 4 + 1 + 4 + 4 + 4;
+  constexpr std::size_t kHeader = 4 + 1 + 4 + 4 + 4 + 4;
   const auto rd_u32 = [data](std::size_t off) {
     std::uint32_t v = 0;
     for (int i = 0; i < 4; ++i) {
@@ -62,11 +65,12 @@ std::optional<Packet> UdpTransport::decode_envelope(const std::uint8_t* data,
   if (rd_u32(0) != kMagic) return std::nullopt;
   if (data[4] != kVersion) return std::nullopt;
   Packet pkt;
-  pkt.src = rd_u32(5);
-  pkt.dst = rd_u32(9);
+  if (shard_out != nullptr) *shard_out = rd_u32(5);
+  pkt.src = rd_u32(9);
+  pkt.dst = rd_u32(13);
   // Strict framing: the length prefix must name exactly the bytes present
   // (truncated or padded datagrams are corruption, not messages).
-  if (rd_u32(13) != len - kHeader) return std::nullopt;
+  if (rd_u32(17) != len - kHeader) return std::nullopt;
   pkt.payload = wire::BufferPool::local().acquire();
   pkt.payload.assign(data + kHeader, data + len);
   return pkt;
@@ -131,7 +135,7 @@ void UdpTransport::send(NodeId src, NodeId dst, wire::Bytes payload) {
     wire::BufferPool::local().release(std::move(payload));
     return;
   }
-  wire::Bytes datagram = encode_envelope(src, dst, payload);
+  wire::Bytes datagram = encode_envelope(cfg_.shard, src, dst, payload);
   const ssize_t n = ::sendto(
       fd_, datagram.data(), datagram.size(), 0,
       reinterpret_cast<const sockaddr*>(it->second.data()),
@@ -222,9 +226,19 @@ bool UdpTransport::drain_socket() {
                    reinterpret_cast<sockaddr*>(&from), &from_len);
     if (n < 0) break;  // EAGAIN — drained (other errors: drop and retry next poll)
     any = true;
-    auto pkt = decode_envelope(rx_buf_.data(), static_cast<std::size_t>(n));
+    std::uint32_t shard = 0;
+    auto pkt =
+        decode_envelope(rx_buf_.data(), static_cast<std::size_t>(n), &shard);
     if (!pkt) {
       ++stats_.dropped_malformed;
+      continue;
+    }
+    if (shard != cfg_.shard) {
+      // A foreign shard's datagram: well-formed, but it must never feed
+      // this fleet's quorums (and its source must not be learned — the
+      // same node id legitimately exists in every shard).
+      ++stats_.dropped_wrong_shard;
+      wire::BufferPool::local().release(std::move(pkt->payload));
       continue;
     }
     if (cfg_.learn_peers && pkt->src != cfg_.self &&

@@ -33,6 +33,12 @@ struct UdpTransportConfig {
   /// other from any one seed direction, and re-resolves a peer that
   /// respawned on a new port — no static address book maintenance.
   bool learn_peers = true;
+  /// Shard this transport belongs to. Stamped into every outgoing envelope
+  /// and checked on receive: a datagram tagged with a different shard is
+  /// counted and dropped before it reaches any handler, so disjoint shard
+  /// fleets sharing one host (or one misrouted address book entry) can
+  /// never leak protocol traffic into each other's quorums.
+  std::uint32_t shard = 0;
 };
 
 /// Transport over non-blocking UDP sockets with a poll-based event loop and
@@ -96,6 +102,7 @@ class UdpTransport final : public Transport {
     std::uint64_t send_failures = 0;  // full socket buffer etc. — lossy-link
     std::uint64_t received = 0;
     std::uint64_t dropped_malformed = 0;  // bad magic/version/encoding
+    std::uint64_t dropped_wrong_shard = 0;  // well-formed, foreign shard tag
     std::uint64_t dropped_unattached = 0;  // well-formed, but no such node
     std::uint64_t filtered_out = 0;  // sends suppressed by the peer filter
     std::uint64_t filtered_in = 0;   // receives dropped by the peer filter
@@ -104,12 +111,21 @@ class UdpTransport final : public Transport {
   const Stats& stats() const { return stats_; }
 
   // -- Envelope codec (exposed for tests and tooling) ------------------------
+  // v2 layout: magic u32 | version u8 | shard u32 | src u32 | dst u32 |
+  // payload-length u32 | payload. v1 (no shard field) is not accepted: a
+  // cohort is always deployed as one build, and rejecting the old version
+  // outright keeps the strict-framing property (every accepted datagram
+  // has exactly one valid reading).
   static constexpr std::uint32_t kMagic = 0x55525353;  // "SSRU" little-endian
-  static constexpr std::uint8_t kVersion = 1;
-  static wire::Bytes encode_envelope(NodeId src, NodeId dst,
-                                     const wire::Bytes& payload);
+  static constexpr std::uint8_t kVersion = 2;
+  static wire::Bytes encode_envelope(std::uint32_t shard, NodeId src,
+                                     NodeId dst, const wire::Bytes& payload);
+  /// On success `*shard_out` (when non-null) receives the envelope's shard
+  /// tag; shard filtering is the receive path's job, not the codec's.
   static std::optional<Packet> decode_envelope(const std::uint8_t* data,
-                                               std::size_t len);
+                                               std::size_t len,
+                                               std::uint32_t* shard_out =
+                                                   nullptr);
 
  private:
   /// Pooled timer record; the same {slot, generation} handle scheme as

@@ -9,6 +9,10 @@ std::string ScenarioResult::summary() const {
   os << name << " seed=" << seed << " " << (ok ? "OK" : "FAIL")
      << " events=" << trace_events << " hash=" << std::hex << trace_hash
      << std::dec << " sim=" << sim_time / kSec << "s";
+  if (ops_completed > 0) {
+    os << " ops=" << ops_completed << " p50=" << op_p50_us << "us"
+       << " p99=" << op_p99_us << "us";
+  }
   if (!failure.empty()) os << " failure=\"" << failure << "\"";
   for (const auto& v : violations) {
     os << "\n  violation[" << v.invariant << "]: " << v.message;

@@ -38,6 +38,13 @@ struct ScenarioResult {
   /// Simulator only.
   std::uint64_t pool_acquired = 0;
   std::uint64_t pool_reused = 0;
+  /// Client-op latency over every workload action (increments + register
+  /// ops): completed-op count and p50/p99 in microseconds (virtual time
+  /// under the simulator, wall time under the process backend). Zero when
+  /// the scenario drives no workload.
+  std::uint64_t ops_completed = 0;
+  std::uint64_t op_p50_us = 0;
+  std::uint64_t op_p99_us = 0;
   std::vector<InvariantRegistry::Violation> violations;
 
   std::string summary() const;

@@ -206,6 +206,10 @@ void ProcessRunner::spawn(NodeId id, const std::string& peers_path) {
       "--seed",
       std::to_string((opt_.seed + 0x9E3779B97F4A7C15ULL) * 1000003ULL + id),
   };
+  if (opt_.shard != 0) {
+    args.push_back("--shard");
+    args.push_back(std::to_string(opt_.shard));
+  }
   if (spec_.enable_vs) args.push_back("--vs");
   if (spec_.aggressive_policy) args.push_back("--aggressive");
   if (spec_.exhaust_bound != 0) {
@@ -413,6 +417,7 @@ void ProcessRunner::harvest_ops_from(NodeId id, Proc& p) {
       auto c = counter::Counter::decode(r);
       if (!c || !r.ok()) return;
       registry_->counter_order().record(started, finished, *c);
+      if (finished >= started) op_latency_.record(finished - started);
       trace_.record(TraceKind::kIncrementDone, id, 1, c->seqn);
       ++p.ops_harvested;
       progressed = true;
@@ -479,9 +484,10 @@ void ProcessRunner::do_garbage(std::uint64_t per_node) {
 
 // -- Run loop ----------------------------------------------------------------
 
-ScenarioResult ProcessRunner::run() {
-  SSR_ASSERT(!ran_, "a ProcessRunner runs its spec once");
-  ran_ = true;
+bool ProcessRunner::bootstrap() {
+  SSR_ASSERT(!bootstrapped_, "bootstrap() spawns the cohort once");
+  bootstrapped_ = true;
+  ran_ = true;  // the destructor's keep-the-scratch-dir logic keys on this
 
   // Bootstrap cohort: spawn everyone against a placeholder map (all ports
   // 0), then publish the real ports in one atomic rewrite. The daemons
@@ -512,18 +518,40 @@ ScenarioResult ProcessRunner::run() {
     }
   }
   if (!failed_) write_cohort_peer_map();
+  return !failed_;
+}
 
+void ProcessRunner::step(const Action& a) {
+  if (failed_) return;
+  trace_.record(TraceKind::kActionApplied, kNoNode,
+                static_cast<std::uint64_t>(a.kind), digest_action(a));
+  apply(a);
+}
+
+IdSet ProcessRunner::routing_config() const {
+  if (converged_now()) {
+    for (const auto& [id, p] : procs_) {
+      (void)id;
+      if (p.alive && p.sampled) return p.cfg;
+    }
+  }
+  return alive();
+}
+
+ScenarioResult ProcessRunner::run() {
+  SSR_ASSERT(!ran_, "a ProcessRunner runs its spec once");
+  ran_ = true;
+
+  bootstrap();
   for (const Phase& phase : spec_.phases) {
     if (failed_) break;
     trace_.record(TraceKind::kPhaseStart, kNoNode, digest_name(phase.name));
-    for (const Action& a : phase.actions) {
-      if (failed_) break;
-      trace_.record(TraceKind::kActionApplied, kNoNode,
-                    static_cast<std::uint64_t>(a.kind), digest_action(a));
-      apply(a);
-    }
+    for (const Action& a : phase.actions) step(a);
   }
+  return finish();
+}
 
+ScenarioResult ProcessRunner::finish() {
   harvest_ops();
 
   ScenarioResult r;
@@ -538,6 +566,9 @@ ScenarioResult ProcessRunner::run() {
   r.trace_hash = trace_.hash();
   r.trace_events = trace_.events().size();
   r.sim_time = now();
+  r.ops_completed = op_latency_.count();
+  r.op_p50_us = op_latency_.percentile(50);
+  r.op_p99_us = op_latency_.percentile(99);
   for (const auto& [id, p] : procs_) {
     (void)id;
     r.packets_sent += p.sent;

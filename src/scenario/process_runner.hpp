@@ -30,6 +30,7 @@
 #include "scenario/backend.hpp"
 #include "scenario/control.hpp"
 #include "scenario/scenario.hpp"
+#include "util/histogram.hpp"
 
 namespace ssr::scenario {
 
@@ -56,6 +57,11 @@ struct ProcessBackendOptions {
   /// Daemon do-forever tick (µs); smaller than the daemon's standalone
   /// default to keep scaled scenarios snappy.
   std::uint64_t tick_us = 2000;
+  /// Shard tag for the whole fleet: forwarded to every daemon as --shard,
+  /// stamped into the UDP envelopes and checked on receive. Disjoint
+  /// fleets on one host cannot leak protocol traffic into each other even
+  /// with overlapping node ids (see UdpTransportConfig::shard).
+  std::uint32_t shard = 0;
 };
 
 /// ScenarioBackend over real processes. One runner instance runs one spec
@@ -73,6 +79,34 @@ class ProcessRunner final : public ScenarioBackend {
   InvariantRegistry& invariants() override { return *registry_; }
 
   const std::string& work_dir() const { return dir_; }
+
+  // -- Multi-fleet driving (shard::ShardedProcessRunner) ---------------------
+  // The three stages of run(), exposed so a driver owning several fleets can
+  // interleave their scripts: run() is exactly bootstrap(), then every phase
+  // action through step(), then finish().
+
+  /// Spawns the initial cohort and publishes the port map. Returns false
+  /// (with the failure recorded) when any daemon failed to start.
+  bool bootstrap();
+  /// Applies one action; records it in the trace first. No-op once failed.
+  void step(const Action& a);
+  /// Final harvest + invariant evaluation; call once, after the last step.
+  ScenarioResult finish();
+
+  bool failed() const { return failed_; }
+  const std::string& failure() const { return failure_; }
+  /// Completed client ops harvested so far — a driver diffs this across a
+  /// step() to judge whether one routed attempt completed.
+  std::uint64_t ops_completed() const { return op_latency_.count(); }
+  /// Ids of the currently alive daemons.
+  IdSet alive_ids() const { return alive(); }
+  /// One sampling round; true when every polled daemon answered.
+  bool sample() { return sample_all(); }
+  /// The converged() predicate over the latest samples (no new sampling).
+  bool converged_sampled() const { return converged_now(); }
+  /// Latest believed membership for client routing: the common sampled
+  /// configuration when the fleet agrees on one, else the alive set.
+  IdSet routing_config() const;
 
  private:
   struct Proc {
@@ -176,7 +210,10 @@ class ProcessRunner final : public ScenarioBackend {
   NodeId next_id_ = 1;
   bool failed_ = false;
   std::string failure_;
+  /// Wall-clock client-op latencies harvested from the daemons.
+  util::LatencyHistogram op_latency_;
   bool ran_ = false;
+  bool bootstrapped_ = false;
 };
 
 }  // namespace ssr::scenario

@@ -103,6 +103,9 @@ ScenarioResult ScenarioRunner::run() {
   const wire::BufferPool::Stats& pool = wire::BufferPool::local().stats();
   r.pool_acquired = pool.acquired - pool_at_start_.acquired;
   r.pool_reused = pool.reused - pool_at_start_.reused;
+  r.ops_completed = op_latency_.count();
+  r.op_p50_us = op_latency_.percentile(50);
+  r.op_p99_us = op_latency_.percentile(99);
   world_->network().for_each_channel(
       [&r](NodeId, NodeId, net::Channel& ch) {
         r.packets_sent += ch.stats().sent;
@@ -284,6 +287,7 @@ void ScenarioRunner::do_increment_burst(const Action& a) {
         if (st->done && st->got) {
           registry_->counter_order().record(
               st->started, world_->scheduler().now(), *st->got);
+          op_latency_.record(world_->scheduler().now() - st->started);
           trace_.record(TraceKind::kIncrementDone, id, 1, st->got->seqn);
           completed = true;
         } else if (st->done) {
@@ -309,6 +313,7 @@ void ScenarioRunner::harvest_increments() {
     if (st->got) {
       registry_->counter_order().record(st->started,
                                         world_->scheduler().now(), *st->got);
+      op_latency_.record(world_->scheduler().now() - st->started);
       trace_.record(TraceKind::kIncrementDone, id, 1, st->got->seqn);
     }
     return true;
@@ -330,6 +335,7 @@ void ScenarioRunner::do_shmem(const Action& a, bool write) {
     for (int attempt = 0; attempt < 12 && !succeeded; ++attempt) {
       if (!await(30 * kSec, [&] { return !svc.busy(); })) break;
       auto st = std::make_shared<OpState>();
+      const SimTime op_started = world_->scheduler().now();
       bool begun;
       if (write) {
         wire::Bytes payload;
@@ -352,6 +358,9 @@ void ScenarioRunner::do_shmem(const Action& a, bool write) {
       if (!begun) continue;
       await(160 * kSec, [&] { return st->done; }, 5 * kMsec);
       succeeded = st->done && st->ok;
+      if (succeeded) {
+        op_latency_.record(world_->scheduler().now() - op_started);
+      }
     }
     trace_.record(TraceKind::kShmemOpDone, id, succeeded ? 1 : 0,
                   write ? 1 : 0);

@@ -9,6 +9,7 @@
 #include "scenario/invariants.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/trace.hpp"
+#include "util/histogram.hpp"
 
 namespace ssr::scenario {
 
@@ -69,6 +70,8 @@ class ScenarioRunner final : public ScenarioBackend {
   NodeId next_id_ = 1;
   bool failed_ = false;
   std::string failure_;
+  /// Virtual-time client-op latencies across every workload action.
+  util::LatencyHistogram op_latency_;
   /// Attempts whose await timed out with the operation still in flight;
   /// re-harvested at every burst and once more before check_all().
   std::vector<std::pair<NodeId, std::shared_ptr<PendingIncrement>>>

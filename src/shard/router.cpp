@@ -1,0 +1,79 @@
+#include "shard/router.hpp"
+
+namespace ssr::shard {
+
+bool Router::adopt(const ShardMap& m) {
+  if (m.epoch() <= map_.epoch()) return false;
+  map_ = m;
+  // Listeners may adopt further maps or mutate the listener list from the
+  // callback; iterate over a snapshot of the tokens so neither invalidates
+  // this loop.
+  std::vector<std::size_t> tokens;
+  tokens.reserve(listeners_.size());
+  for (const auto& [token, cb] : listeners_) tokens.push_back(token);
+  for (std::size_t token : tokens) {
+    for (const auto& [t, cb] : listeners_) {
+      if (t == token) {
+        cb(map_);
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+std::size_t Router::add_listener(MapListener cb) {
+  const std::size_t token = next_token_++;
+  listeners_.emplace_back(token, std::move(cb));
+  return token;
+}
+
+void Router::remove_listener(std::size_t token) {
+  std::erase_if(listeners_,
+                [token](const auto& e) { return e.first == token; });
+}
+
+void Router::note_config(ShardId shard, IdSet config) {
+  configs_[shard] = std::move(config);
+}
+
+const IdSet& Router::config_of(ShardId shard) const {
+  static const IdSet kEmpty;
+  auto it = configs_.find(shard);
+  return it == configs_.end() ? kEmpty : it->second;
+}
+
+Router::Op Router::begin(std::string key) const {
+  Op op;
+  op.shard = route(key);
+  op.key = std::move(key);
+  op.map_epoch = map_.epoch();
+  return op;
+}
+
+std::optional<NodeId> Router::target(const Op& op) const {
+  const IdSet& cfg = config_of(op.shard);
+  if (cfg.empty()) return std::nullopt;
+  return *(cfg.begin() + static_cast<std::ptrdiff_t>(op.cursor % cfg.size()));
+}
+
+Router::Verdict Router::on_failure(Op& op) const {
+  if (op.map_epoch != map_.epoch()) {
+    // The map moved under the op: the key may now live on another shard.
+    // Re-route with a fresh attempt budget (itself bounded by
+    // max_redirects_, so a flapping map cannot spin an op forever).
+    if (op.redirects >= max_redirects_) return Verdict::kGiveUp;
+    ++op.redirects;
+    op.shard = route(op.key);
+    op.map_epoch = map_.epoch();
+    op.attempts = 0;
+    op.cursor = 0;
+    return Verdict::kRedirect;
+  }
+  ++op.attempts;
+  ++op.cursor;  // rotate to the next member of the shard's config
+  if (op.attempts >= max_attempts_) return Verdict::kGiveUp;
+  return Verdict::kRetry;
+}
+
+}  // namespace ssr::shard

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "shard/shard_map.hpp"
+#include "util/id_set.hpp"
+
+namespace ssr::shard {
+
+/// Client-side router: hashes register/counter keys to shards via the
+/// current ShardMap, tracks each shard's current configuration (the member
+/// set a client should address), and drives a bounded retry/redirect loop
+/// for in-flight operations that collide with reconfigurations or
+/// shard-map epoch changes.
+///
+/// Map updates are push-style: interested clients register a listener and
+/// are called back whenever a newer-epoch map is adopted (the
+/// ParticipantConfig::was_updated idiom — consumers react to the change
+/// instead of polling the version). Adoption is strictly epoch-monotonic,
+/// so replayed or stale maps are ignored no matter the arrival order.
+class Router {
+ public:
+  using MapListener = std::function<void(const ShardMap&)>;
+
+  /// Verdict for a failed attempt of an in-flight operation.
+  enum class Verdict {
+    kRetry,     // same shard, next member — transient refusal/timeout
+    kRedirect,  // shard map changed under the op: re-hash and start over
+    kGiveUp,    // attempt budget exhausted
+  };
+
+  /// One keyed client operation in flight. `shard`/`map_epoch` snapshot
+  /// the routing decision so a concurrent map adoption is detected as a
+  /// redirect instead of silently retargeting half-done quorum work.
+  struct Op {
+    std::string key;
+    ShardId shard = 0;
+    std::uint64_t map_epoch = 0;
+    std::uint32_t attempts = 0;   // failed attempts on the current shard
+    std::uint32_t redirects = 0;  // map-change reroutes so far
+    std::size_t cursor = 0;       // rotation index into the shard's config
+  };
+
+  explicit Router(ShardMap map) : map_(std::move(map)) {}
+
+  const ShardMap& map() const { return map_; }
+
+  /// Adopts `m` iff m.epoch() > map().epoch(); true when adopted.
+  /// Listeners run synchronously inside the adopting call.
+  bool adopt(const ShardMap& m);
+
+  /// Registers a push callback for adopted maps; returns a token for
+  /// remove_listener. The callback fires only on future adoptions.
+  std::size_t add_listener(MapListener cb);
+  void remove_listener(std::size_t token);
+
+  /// Updates the tracked configuration of one shard (fed by whatever
+  /// membership source the deployment has: scenario samples, daemon
+  /// STATUS replies, gossip).
+  void note_config(ShardId shard, IdSet config);
+  /// Last known configuration of `shard` (empty set when never reported).
+  const IdSet& config_of(ShardId shard) const;
+
+  ShardId route(std::string_view key) const {
+    return map_.shard_for_key(key);
+  }
+
+  /// Starts a keyed operation: routes the key and snapshots the epoch.
+  Op begin(std::string key) const;
+
+  /// Current target node for `op`: the cursor-th member (mod size) of the
+  /// op's shard configuration. nullopt when the config is unknown/empty.
+  std::optional<NodeId> target(const Op& op) const;
+
+  /// Called when the current attempt failed (refused, aborted, timed
+  /// out). Advances the op state and classifies: if the map moved under
+  /// the op the verdict is kRedirect and the op is re-routed (fresh
+  /// attempt budget); within budget it is kRetry against the next member;
+  /// past budget, kGiveUp. Bounded overall: at most max_redirects()
+  /// reroutes of max_attempts() attempts each.
+  Verdict on_failure(Op& op) const;
+
+  std::uint32_t max_attempts() const { return max_attempts_; }
+  std::uint32_t max_redirects() const { return max_redirects_; }
+
+ private:
+  ShardMap map_;
+  std::map<ShardId, IdSet> configs_;
+  std::vector<std::pair<std::size_t, MapListener>> listeners_;
+  std::size_t next_token_ = 1;
+  std::uint32_t max_attempts_ = 8;
+  std::uint32_t max_redirects_ = 4;
+};
+
+}  // namespace ssr::shard

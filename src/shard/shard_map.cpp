@@ -1,0 +1,103 @@
+#include "shard/shard_map.hpp"
+
+#include "util/assert.hpp"
+
+namespace ssr::shard {
+
+ShardMap ShardMap::uniform(std::uint32_t shard_count, std::uint64_t epoch) {
+  SSR_ASSERT(shard_count > 0, "a shard map needs at least one shard");
+  SSR_ASSERT(shard_count <= kSlots, "more shards than slots");
+  ShardMap m;
+  m.epoch_ = epoch;
+  m.shard_count_ = shard_count;
+  for (std::size_t s = 0; s < kSlots; ++s) {
+    m.slots_[s] = static_cast<ShardId>(s % shard_count);
+  }
+  return m;
+}
+
+std::uint64_t ShardMap::hash_key(std::string_view key) {
+  // FNV-1a 64: byte-at-a-time, so the result is identical on every
+  // architecture regardless of endianness or word size.
+  std::uint64_t h = 14695981039346656037ULL;
+  for (char c : key) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint32_t ShardMap::slots_owned(ShardId shard) const {
+  std::uint32_t n = 0;
+  for (ShardId owner : slots_) {
+    if (owner == shard) ++n;
+  }
+  return n;
+}
+
+ShardMap ShardMap::with_shard_added() const {
+  SSR_ASSERT(shard_count_ > 0, "cannot grow an empty map");
+  SSR_ASSERT(shard_count_ < kSlots, "slot space exhausted");
+  ShardMap m = *this;
+  ++m.epoch_;
+  const ShardId fresh = m.shard_count_++;
+  const std::uint32_t take = static_cast<std::uint32_t>(kSlots) /
+                             m.shard_count_;
+  for (std::uint32_t moved = 0; moved < take; ++moved) {
+    // Steal from the currently most-loaded shard; ties break toward the
+    // lower shard id, and within a shard the lowest-numbered slot moves.
+    // Entirely deterministic, so independently-updating routers agree.
+    ShardId victim = 0;
+    std::uint32_t victim_load = 0;
+    for (ShardId s = 0; s < fresh; ++s) {
+      const std::uint32_t load = m.slots_owned(s);
+      if (load > victim_load) {
+        victim = s;
+        victim_load = load;
+      }
+    }
+    for (std::size_t slot = 0; slot < kSlots; ++slot) {
+      if (m.slots_[slot] == victim) {
+        m.slots_[slot] = fresh;
+        break;
+      }
+    }
+  }
+  return m;
+}
+
+ShardMap ShardMap::at_epoch(std::uint64_t epoch) const {
+  ShardMap m = *this;
+  m.epoch_ = epoch;
+  return m;
+}
+
+void ShardMap::encode(wire::Writer& w) const {
+  w.u64(epoch_);
+  w.u32(shard_count_);
+  // One byte per slot: ShardId < kSlots ≤ 255.
+  for (ShardId owner : slots_) w.u8(static_cast<std::uint8_t>(owner));
+}
+
+std::optional<ShardMap> ShardMap::decode(wire::Reader& r) {
+  ShardMap m;
+  m.epoch_ = r.u64();
+  m.shard_count_ = r.u32();
+  for (std::size_t s = 0; s < kSlots; ++s) m.slots_[s] = r.u8();
+  if (!r.ok()) return std::nullopt;
+  if (m.shard_count_ == 0 || m.shard_count_ > kSlots) return std::nullopt;
+  for (ShardId owner : m.slots_) {
+    if (owner >= m.shard_count_) return std::nullopt;
+  }
+  return m;
+}
+
+std::string ShardMap::to_string() const {
+  std::string out = "shardmap{epoch=" + std::to_string(epoch_) +
+                    " shards=" + std::to_string(shard_count_) + " slots=";
+  for (ShardId owner : slots_) out += std::to_string(owner);
+  out += "}";
+  return out;
+}
+
+}  // namespace ssr::shard

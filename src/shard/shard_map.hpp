@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "wire/wire.hpp"
+
+namespace ssr::shard {
+
+/// Identifier of one quorum group (shard). Shards are numbered densely
+/// from 0; each one runs an independent instance of the paper's
+/// self-stabilizing reconfiguration stack.
+using ShardId = std::uint32_t;
+
+/// Versioned key→shard assignment over a fixed slot space.
+///
+/// Keys hash (FNV-1a over the raw bytes — byte-order independent, so every
+/// process on every architecture computes the same slot) into one of
+/// kSlots slots; each slot is owned by exactly one shard. The map carries
+/// a monotonic epoch: routers only ever adopt a map with a higher epoch,
+/// so a stale map seen during reconfiguration loses deterministically.
+///
+/// Rebalancing moves whole slots, never individual keys: adding a shard
+/// reassigns ~kSlots/new_count slots taken round-robin from the currently
+/// most-loaded shards, which bounds key movement to ~1/K of the space
+/// (stable hashing) and is itself deterministic — two routers that apply
+/// the same transition compute identical maps.
+class ShardMap {
+ public:
+  /// Slot-space size. 64 slots keeps the wire image small (one byte per
+  /// slot) while allowing fine-grained balance up to dozens of shards.
+  static constexpr std::size_t kSlots = 64;
+
+  /// An empty (0-shard) map routes nothing; epoch 0 never wins adoption.
+  ShardMap() = default;
+
+  /// Uniform assignment of kSlots slots over `shard_count` shards
+  /// (slot s → s % shard_count), at the given epoch.
+  static ShardMap uniform(std::uint32_t shard_count, std::uint64_t epoch = 1);
+
+  std::uint64_t epoch() const { return epoch_; }
+  std::uint32_t shard_count() const { return shard_count_; }
+  bool empty() const { return shard_count_ == 0; }
+
+  /// Stable, endianness-independent key hash (FNV-1a 64 over bytes).
+  static std::uint64_t hash_key(std::string_view key);
+  static std::uint32_t slot_for_key(std::string_view key) {
+    return static_cast<std::uint32_t>(hash_key(key) % kSlots);
+  }
+
+  ShardId shard_of_slot(std::uint32_t slot) const { return slots_[slot]; }
+  ShardId shard_for_key(std::string_view key) const {
+    return slots_[slot_for_key(key)];
+  }
+
+  /// Number of slots currently owned by `shard`.
+  std::uint32_t slots_owned(ShardId shard) const;
+
+  /// Deterministic minimal-movement transition: a new shard (id =
+  /// shard_count()) takes floor(kSlots / (count+1)) slots, each stolen
+  /// from whichever shard owns the most slots at that moment (lowest slot
+  /// index of that shard moves). Every surviving slot assignment is
+  /// untouched. The result's epoch is epoch()+1.
+  ShardMap with_shard_added() const;
+
+  /// Same map re-stamped at a higher epoch (shard-map "update in place",
+  /// e.g. after an administrative reload that changed nothing).
+  ShardMap at_epoch(std::uint64_t epoch) const;
+
+  void encode(wire::Writer& w) const;
+  static std::optional<ShardMap> decode(wire::Reader& r);
+
+  friend bool operator==(const ShardMap&, const ShardMap&) = default;
+
+  std::string to_string() const;
+
+ private:
+  std::uint64_t epoch_ = 0;
+  std::uint32_t shard_count_ = 0;
+  ShardId slots_[kSlots] = {};
+};
+
+}  // namespace ssr::shard

@@ -1,0 +1,286 @@
+#include "shard/sharded_process.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "util/wallclock.hpp"
+
+namespace ssr::shard {
+namespace {
+
+const char* kind_name(ShardedAction::Kind k) {
+  switch (k) {
+    case ShardedAction::Kind::kRunFor: return "run_for";
+    case ShardedAction::Kind::kAwaitAllConverged: return "await_all_converged";
+    case ShardedAction::Kind::kWorkload: return "workload";
+    case ShardedAction::Kind::kCrashOneInShard: return "crash_one_in_shard";
+    case ShardedAction::Kind::kPauseShard: return "pause_shard";
+    case ShardedAction::Kind::kResumeShard: return "resume_shard";
+    case ShardedAction::Kind::kGrowMap: return "grow_map";
+    case ShardedAction::Kind::kMarkStable: return "mark_stable";
+  }
+  return "?";
+}
+
+void sweep_sleep() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+}
+
+}  // namespace
+
+ShardedProcessRunner::ShardedProcessRunner(ShardedSpec spec,
+                                           scenario::ProcessBackendOptions opt)
+    : spec_(std::move(spec)),
+      opt_(std::move(opt)),
+      router_(ShardMap::uniform(spec_.map_shards())) {
+  epoch_usec_ = steady_usec();
+  fleets_.reserve(spec_.shards);
+  for (std::uint32_t s = 0; s < spec_.shards; ++s) {
+    scenario::ScenarioSpec fleet_spec;
+    fleet_spec.name = spec_.name + "/shard" + std::to_string(s);
+    fleet_spec.initial_nodes = spec_.nodes_per_shard;
+
+    scenario::ProcessBackendOptions fleet_opt = opt_;
+    // Shard tags start at 1: 0 is the untagged default, and a fleet must
+    // never accept a stray datagram from an untagged sender either.
+    fleet_opt.shard = s + 1;
+    // Same per-shard stream split as the simulator backend.
+    fleet_opt.seed = opt_.seed + 0x9E3779B97F4A7C15ULL * (s + 1);
+    if (!opt_.work_dir.empty()) {
+      fleet_opt.work_dir = opt_.work_dir + "/shard" + std::to_string(s);
+    }
+
+    Fleet f;
+    f.runner = std::make_unique<scenario::ProcessRunner>(
+        std::move(fleet_spec), std::move(fleet_opt));
+    fleets_.push_back(std::move(f));
+  }
+}
+
+ShardedProcessRunner::~ShardedProcessRunner() = default;
+
+SimTime ShardedProcessRunner::now() const {
+  return steady_usec() - epoch_usec_;
+}
+
+SimTime ShardedProcessRunner::scaled(SimTime d) const {
+  return static_cast<SimTime>(static_cast<double>(d) * opt_.time_scale);
+}
+
+SimTime ShardedProcessRunner::await_budget(SimTime d) const {
+  const SimTime s = scaled(d);
+  return s < opt_.min_await ? opt_.min_await : s;
+}
+
+void ShardedProcessRunner::fail(const ShardedAction& a,
+                                const std::string& detail) {
+  if (failed_) return;
+  failed_ = true;
+  std::ostringstream os;
+  os << kind_name(a.kind) << ": " << detail;
+  failure_ = os.str();
+}
+
+void ShardedProcessRunner::sample_fleets() {
+  for (Fleet& f : fleets_) {
+    if (!f.paused) f.runner->sample();
+  }
+}
+
+void ShardedProcessRunner::check_fleets() {
+  if (failed_) return;
+  for (std::uint32_t s = 0; s < fleets_.size(); ++s) {
+    if (fleets_[s].runner->failed()) {
+      failed_ = true;
+      failure_ = "shard " + std::to_string(s) + ": " +
+                 fleets_[s].runner->failure();
+      return;
+    }
+  }
+}
+
+void ShardedProcessRunner::refresh_config(ShardId s) {
+  router_.note_config(s, fleets_[s].runner->routing_config());
+}
+
+void ShardedProcessRunner::adopt_pending_grow() {
+  if (!pending_grow_) return;
+  pending_grow_ = false;
+  router_.adopt(router_.map().with_shard_added());
+}
+
+ShardedResult ShardedProcessRunner::run() {
+  // Spawn every fleet up front; from here on they all run concurrently in
+  // real time and the action loop samples them in one sweep.
+  for (Fleet& f : fleets_) {
+    if (!f.runner->bootstrap()) break;
+  }
+  check_fleets();
+
+  for (const ShardedAction& a : spec_.actions) {
+    if (failed_) break;
+    apply(a);
+    check_fleets();
+  }
+
+  ShardedResult r;
+  r.name = spec_.name;
+  r.seed = opt_.seed;
+  r.failure = failure_;
+  r.ops_attempted = ops_attempted_;
+  r.ops_completed = ops_completed_;
+  r.ops_aborted_faulted = aborted_faulted_;
+  r.ops_aborted_healthy = aborted_healthy_;
+  r.ops_redirected = redirects_;
+
+  bool shards_ok = true;
+  for (Fleet& f : fleets_) {
+    scenario::ScenarioResult pr = f.runner->finish();
+    pr.seed = opt_.seed;
+    shards_ok = shards_ok && pr.ok;
+    if (!pr.ok && failure_.empty()) r.failure = pr.name + ": " + pr.failure;
+    r.per_shard.push_back(std::move(pr));
+  }
+
+  if (aborted_healthy_ != 0 && r.failure.empty()) {
+    r.failure = std::to_string(aborted_healthy_) +
+                " op(s) aborted on healthy shards (isolation violated)";
+  }
+  r.ok = !failed_ && shards_ok && aborted_healthy_ == 0;
+  return r;
+}
+
+void ShardedProcessRunner::apply(const ShardedAction& a) {
+  // Same lazy-adoption contract as the simulator backend: a queued map
+  // growth lands inside the next workload; anything else flushes it.
+  if (a.kind != ShardedAction::Kind::kWorkload &&
+      a.kind != ShardedAction::Kind::kGrowMap) {
+    adopt_pending_grow();
+  }
+  switch (a.kind) {
+    case ShardedAction::Kind::kRunFor: {
+      const SimTime deadline = now() + scaled(a.duration);
+      while (now() < deadline && !failed_) {
+        sample_fleets();
+        check_fleets();
+        sweep_sleep();
+      }
+      return;
+    }
+    case ShardedAction::Kind::kAwaitAllConverged: {
+      const SimTime deadline = now() + await_budget(a.duration);
+      auto all_converged = [&] {
+        for (const Fleet& f : fleets_) {
+          if (!f.paused && !f.runner->converged_sampled()) return false;
+        }
+        return true;
+      };
+      for (;;) {
+        sample_fleets();
+        check_fleets();
+        if (failed_) return;
+        if (all_converged()) return;
+        if (now() >= deadline) {
+          fail(a, "a healthy shard missed the convergence budget");
+          return;
+        }
+        sweep_sleep();
+      }
+    }
+    case ShardedAction::Kind::kWorkload:
+      do_workload(a);
+      return;
+    case ShardedAction::Kind::kCrashOneInShard: {
+      Fleet& f = fleets_[a.shard];
+      const IdSet alive = f.runner->alive_ids();
+      if (alive.empty()) {
+        fail(a, "no alive node to crash in shard " + std::to_string(a.shard));
+        return;
+      }
+      IdSet victim;
+      victim.insert(*alive.begin());
+      f.runner->step(scenario::Action::crash(victim));
+      return;
+    }
+    case ShardedAction::Kind::kPauseShard: {
+      Fleet& f = fleets_[a.shard];
+      f.paused_ids = f.runner->alive_ids();
+      f.runner->step(scenario::Action::pause_nodes(f.paused_ids));
+      f.paused = true;
+      return;
+    }
+    case ShardedAction::Kind::kResumeShard: {
+      Fleet& f = fleets_[a.shard];
+      f.paused = false;
+      f.runner->step(scenario::Action::resume_nodes(f.paused_ids));
+      f.paused_ids = IdSet{};
+      return;
+    }
+    case ShardedAction::Kind::kGrowMap:
+      pending_grow_ = true;
+      return;
+    case ShardedAction::Kind::kMarkStable:
+      for (Fleet& f : fleets_) {
+        if (!f.paused) f.runner->step(scenario::Action::mark_stable());
+      }
+      return;
+  }
+}
+
+bool ShardedProcessRunner::drive_attempt(const Router::Op& op, NodeId target) {
+  scenario::ProcessRunner& r = *fleets_[op.shard].runner;
+  const std::uint64_t before = r.ops_completed();
+  IdSet one;
+  one.insert(target);
+  r.step(scenario::Action::increment_burst(1, one));
+  // One more harvested op on this fleet counts as this attempt completing.
+  // A paused or crashed target is skipped by the burst, so its await is
+  // instant and the delta stays zero — the router rotates on immediately.
+  // An op that straggles past the burst's drain budget gets credited to a
+  // later attempt on the same shard; both ops did complete there, which is
+  // what the isolation ledger measures.
+  return r.ops_completed() > before;
+}
+
+void ShardedProcessRunner::do_workload(const ShardedAction& a) {
+  for (std::uint64_t i = 0; i < a.n && !failed_; ++i) {
+    const std::string key = a.key_prefix + ":" + std::to_string(i);
+    Router::Op op = router_.begin(key);
+    bool completed = false;
+    for (;;) {
+      refresh_config(op.shard);
+      const auto target = router_.target(op);
+      if (target && drive_attempt(op, *target)) {
+        completed = true;
+        break;
+      }
+      check_fleets();
+      if (failed_) break;
+      // A failed attempt is when a queued epoch change becomes visible —
+      // exactly the moment a real client would learn its map is stale.
+      adopt_pending_grow();
+      const Router::Verdict v = router_.on_failure(op);
+      if (v == Router::Verdict::kGiveUp) break;
+      if (v == Router::Verdict::kRedirect) ++redirects_;
+    }
+    ++ops_attempted_;
+    if (completed) {
+      ++ops_completed_;
+    } else if (fleets_[op.shard].paused) {
+      ++aborted_faulted_;
+    } else {
+      ++aborted_healthy_;
+    }
+  }
+  adopt_pending_grow();
+}
+
+ShardedResult run_sharded_process(const ShardedSpec& spec,
+                                  const scenario::ProcessBackendOptions& opt) {
+  ShardedProcessRunner runner(spec, opt);
+  return runner.run();
+}
+
+}  // namespace ssr::shard

@@ -1,0 +1,87 @@
+#pragma once
+
+// Process execution backend for sharded scenarios (POSIX only).
+//
+// K disjoint ssr_node fleets — one ProcessRunner per shard, each in its own
+// scratch directory with its own seed and a distinct --shard tag — driven
+// concurrently by one wall-clock loop. The fleets run in real time in
+// parallel, so run_for/await stretches sample every fleet in one sweep
+// instead of paying the duration once per shard.
+//
+// The keyed workload goes through the same client-side Router as the
+// simulator backend: hash the key, address the shard's sampled
+// configuration, retry/redirect on failure, adopt a queued map growth
+// lazily on the first failed attempt (the "epoch change under load" path).
+// One routed attempt is one single-op increment_burst stepped into the
+// owning fleet; completion is judged by that fleet's harvested-op delta
+// (a paused fleet silently skips the burst, so the attempt fails
+// immediately and the router rotates on).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scenario/process_runner.hpp"
+#include "shard/router.hpp"
+#include "shard/sharded_scenario.hpp"
+
+namespace ssr::shard {
+
+/// ShardedBackend over real processes. One runner instance runs one spec
+/// once; fleet scratch directories follow ProcessRunner's keep-on-failure
+/// rules. The per-fleet options are taken from `opt` with work_dir, seed
+/// and shard specialized per fleet.
+class ShardedProcessRunner final : public ShardedBackend {
+ public:
+  ShardedProcessRunner(ShardedSpec spec, scenario::ProcessBackendOptions opt);
+  ~ShardedProcessRunner() override;
+
+  ShardedProcessRunner(const ShardedProcessRunner&) = delete;
+  ShardedProcessRunner& operator=(const ShardedProcessRunner&) = delete;
+
+  ShardedResult run() override;
+
+ private:
+  struct Fleet {
+    std::unique_ptr<scenario::ProcessRunner> runner;
+    bool paused = false;
+    /// The ids stopped by kPauseShard (resume must target exactly these).
+    IdSet paused_ids;
+  };
+
+  SimTime now() const;
+  SimTime scaled(SimTime d) const;
+  SimTime await_budget(SimTime d) const;
+
+  void apply(const ShardedAction& a);
+  void do_workload(const ShardedAction& a);
+  bool drive_attempt(const Router::Op& op, NodeId target);
+  void refresh_config(ShardId s);
+  void adopt_pending_grow();
+  /// One sampling sweep over every unpaused fleet.
+  void sample_fleets();
+  /// Propagates the first fleet-level failure into the run.
+  void check_fleets();
+  void fail(const ShardedAction& a, const std::string& detail);
+
+  ShardedSpec spec_;
+  scenario::ProcessBackendOptions opt_;
+  std::uint64_t epoch_usec_ = 0;
+  Router router_;
+  std::vector<Fleet> fleets_;
+  bool pending_grow_ = false;
+  bool failed_ = false;
+  std::string failure_;
+  std::uint64_t ops_attempted_ = 0;
+  std::uint64_t ops_completed_ = 0;
+  std::uint64_t aborted_faulted_ = 0;
+  std::uint64_t aborted_healthy_ = 0;
+  std::uint64_t redirects_ = 0;
+};
+
+/// Convenience one-shot: build, run, return.
+ShardedResult run_sharded_process(const ShardedSpec& spec,
+                                  const scenario::ProcessBackendOptions& opt);
+
+}  // namespace ssr::shard

@@ -1,0 +1,122 @@
+#pragma once
+
+// Multi-shard scenario model: K independent quorum groups (shards), each
+// running the paper's full self-stabilizing reconfiguration stack, driven
+// by one keyed workload through the client Router. A sharded scenario is a
+// single sequence of shard-aware actions; per-shard correctness is judged
+// by the same InvariantRegistry machinery as single-shard scenarios, and a
+// cross-shard isolation invariant on top: faults injected into one shard
+// must not stall convergence or workload progress in any other shard.
+//
+// Two execution backends exist, mirroring the single-shard engine:
+//  * ShardedSimRunner      — K harness::Worlds advanced in deterministic
+//    round-robin lockstep on one thread (sharded_sim.hpp);
+//  * ShardedProcessRunner  — K disjoint ssr_node fleets, one OS process
+//    per node, faults via signals (sharded_process.hpp, POSIX only).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/backend.hpp"
+#include "shard/shard_map.hpp"
+#include "util/types.hpp"
+
+namespace ssr::shard {
+
+struct ShardedAction {
+  enum class Kind {
+    kRunFor,             // every shard advances `duration`
+    kAwaitAllConverged,  // every non-faulted shard converged within budget
+    kWorkload,           // n keyed increments routed through the Router
+    kCrashOneInShard,    // crash the lowest-id alive node of `shard`
+    kPauseShard,         // stop every node of `shard` (sim: isolate fabric;
+                         // process: SIGSTOP)
+    kResumeShard,        // undo kPauseShard
+    kGrowMap,            // router adopts map().with_shard_added()
+    kMarkStable,         // open a closure window on every shard
+  };
+
+  Kind kind{};
+  ShardId shard = 0;
+  std::uint64_t n = 0;
+  SimTime duration = 0;
+  std::string key_prefix;
+
+  static ShardedAction run_for(SimTime d) {
+    return {Kind::kRunFor, 0, 0, d, {}};
+  }
+  static ShardedAction await_all_converged(SimTime budget) {
+    return {Kind::kAwaitAllConverged, 0, 0, budget, {}};
+  }
+  static ShardedAction workload(std::uint64_t n, std::string key_prefix) {
+    return {Kind::kWorkload, 0, n, 0, std::move(key_prefix)};
+  }
+  static ShardedAction crash_one_in_shard(ShardId s) {
+    return {Kind::kCrashOneInShard, s, 0, 0, {}};
+  }
+  static ShardedAction pause_shard(ShardId s) {
+    return {Kind::kPauseShard, s, 0, 0, {}};
+  }
+  static ShardedAction resume_shard(ShardId s) {
+    return {Kind::kResumeShard, s, 0, 0, {}};
+  }
+  static ShardedAction grow_map() { return {Kind::kGrowMap, 0, 0, 0, {}}; }
+  static ShardedAction mark_stable() {
+    return {Kind::kMarkStable, 0, 0, 0, {}};
+  }
+};
+
+struct ShardedSpec {
+  std::string name;
+  std::string description;
+  /// Shard fleets instantiated (each one full protocol stack).
+  std::uint32_t shards = 2;
+  /// Shards covered by the initial ShardMap; 0 ⇒ all of them. Setting it
+  /// below `shards` leaves the tail fleets idle until kGrowMap routes
+  /// traffic to them (the shard-map epoch-change scenario).
+  std::uint32_t initial_map_shards = 0;
+  std::size_t nodes_per_shard = 3;
+  std::vector<ShardedAction> actions;
+
+  std::uint32_t map_shards() const {
+    return initial_map_shards == 0 ? shards : initial_map_shards;
+  }
+};
+
+/// Outcome of one sharded execution. `per_shard[s]` carries shard s's own
+/// invariant verdict (violations, latency, event counts) in the familiar
+/// ScenarioResult shape; the top-level fields aggregate the run.
+struct ShardedResult {
+  std::string name;
+  std::uint64_t seed = 0;
+  bool ok = false;
+  std::string failure;
+  std::vector<scenario::ScenarioResult> per_shard;
+  /// Workload accounting for the isolation invariant: ops attempted /
+  /// completed overall, and aborted ops split by whether their shard was
+  /// faulted when they gave up (aborts on healthy shards fail the run).
+  std::uint64_t ops_attempted = 0;
+  std::uint64_t ops_completed = 0;
+  std::uint64_t ops_aborted_faulted = 0;
+  std::uint64_t ops_aborted_healthy = 0;
+  /// Redirects observed after kGrowMap epoch changes.
+  std::uint64_t ops_redirected = 0;
+
+  std::string summary() const;
+};
+
+/// A backend that can execute a ShardedSpec.
+class ShardedBackend {
+ public:
+  virtual ~ShardedBackend() = default;
+  virtual ShardedResult run() = 0;
+};
+
+/// The multi-shard scenario library: bootstrap, fault isolation, and
+/// shard-map growth under load.
+const std::vector<ShardedSpec>& sharded_library();
+std::optional<ShardedSpec> find_sharded_scenario(const std::string& name);
+
+}  // namespace ssr::shard

@@ -1,0 +1,327 @@
+#include "shard/sharded_sim.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ssr::shard {
+namespace {
+
+// One lockstep slice: no shard's virtual clock leads another by more.
+constexpr SimTime kSliceUs = 20 * kMsec;
+
+const char* kind_name(ShardedAction::Kind k) {
+  switch (k) {
+    case ShardedAction::Kind::kRunFor: return "run_for";
+    case ShardedAction::Kind::kAwaitAllConverged: return "await_all_converged";
+    case ShardedAction::Kind::kWorkload: return "workload";
+    case ShardedAction::Kind::kCrashOneInShard: return "crash_one_in_shard";
+    case ShardedAction::Kind::kPauseShard: return "pause_shard";
+    case ShardedAction::Kind::kResumeShard: return "resume_shard";
+    case ShardedAction::Kind::kGrowMap: return "grow_map";
+    case ShardedAction::Kind::kMarkStable: return "mark_stable";
+  }
+  return "?";
+}
+
+std::uint64_t digest_ids(const IdSet& ids) {
+  std::uint64_t h = scenario::TraceRecorder::kFnvBasis;
+  for (NodeId id : ids) h = scenario::TraceRecorder::mix(h, id);
+  return h;
+}
+
+}  // namespace
+
+ShardedSimRunner::ShardedSimRunner(ShardedSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)),
+      seed_(seed),
+      router_(ShardMap::uniform(spec_.map_shards())) {
+  shards_.reserve(spec_.shards);
+  for (std::uint32_t s = 0; s < spec_.shards; ++s) {
+    harness::WorldConfig cfg;
+    // Distinct, seed-derived stream per shard: shard fabrics stay
+    // statistically independent while the whole run replays from one seed.
+    cfg.seed = seed_ + 0x9E3779B97F4A7C15ULL * (s + 1);
+    ShardState shard;
+    shard.world = std::make_unique<harness::World>(cfg);
+    shard.registry = std::make_unique<scenario::InvariantRegistry>(*shard.world);
+    shard.trace = std::make_unique<scenario::TraceRecorder>();
+    shard.trace->attach(*shard.world);
+    for (std::size_t i = 1; i <= spec_.nodes_per_shard; ++i) {
+      const NodeId id = static_cast<NodeId>(i);
+      shard.world->add_node(id);
+      shard.trace->attach_node(*shard.world, id);
+      shard.registry->attach_node(id);
+      shard.trace->record(scenario::TraceKind::kNodeAdded, id);
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedSimRunner::~ShardedSimRunner() = default;
+
+void ShardedSimRunner::run_all_for(SimTime d) {
+  SimTime advanced = 0;
+  while (advanced < d) {
+    const SimTime step = std::min(kSliceUs, d - advanced);
+    for (ShardState& shard : shards_) shard.world->run_for(step);
+    advanced += step;
+  }
+}
+
+bool ShardedSimRunner::await_all(SimTime budget,
+                                 const std::function<bool()>& pred) {
+  SimTime waited = 0;
+  for (;;) {
+    if (pred()) return true;
+    if (waited >= budget) return false;
+    const SimTime step = std::min(kSliceUs, budget - waited);
+    run_all_for(step);
+    waited += step;
+  }
+}
+
+void ShardedSimRunner::fail(const ShardedAction& a, const std::string& detail) {
+  if (failed_) return;
+  failed_ = true;
+  std::ostringstream os;
+  os << kind_name(a.kind) << ": " << detail;
+  failure_ = os.str();
+}
+
+void ShardedSimRunner::refresh_config(ShardId s) {
+  harness::World& world = *shards_[s].world;
+  const auto common = world.common_config();
+  router_.note_config(s, common ? *common : world.alive());
+}
+
+void ShardedSimRunner::adopt_pending_grow() {
+  if (!pending_grow_) return;
+  pending_grow_ = false;
+  router_.adopt(router_.map().with_shard_added());
+}
+
+ShardedResult ShardedSimRunner::run() {
+  for (const ShardedAction& a : spec_.actions) {
+    if (failed_) break;
+    for (ShardState& shard : shards_) {
+      shard.trace->record(scenario::TraceKind::kActionApplied, kNoNode,
+                          static_cast<std::uint64_t>(a.kind), a.n);
+    }
+    apply(a);
+  }
+  harvest_outstanding();
+
+  ShardedResult r;
+  r.name = spec_.name;
+  r.seed = seed_;
+  r.failure = failure_;
+  r.ops_attempted = ops_attempted_;
+  r.ops_completed = ops_completed_;
+  r.ops_aborted_faulted = aborted_faulted_;
+  r.ops_aborted_healthy = aborted_healthy_;
+  r.ops_redirected = redirects_;
+
+  bool shards_ok = true;
+  for (std::uint32_t s = 0; s < spec_.shards; ++s) {
+    ShardState& shard = shards_[s];
+    scenario::ScenarioResult pr;
+    pr.name = spec_.name + "/shard" + std::to_string(s);
+    pr.seed = seed_;
+    pr.violations = shard.registry->check_all();
+    pr.ok = pr.violations.empty();
+    pr.trace_hash = shard.trace->hash();
+    pr.trace_events = shard.trace->events().size();
+    pr.sim_time = shard.world->scheduler().now();
+    pr.sched_events = shard.world->scheduler().events_executed();
+    shard.world->network().for_each_channel(
+        [&pr](NodeId, NodeId, net::Channel& ch) {
+          pr.packets_sent += ch.stats().sent;
+          pr.packets_delivered += ch.stats().delivered;
+        });
+    pr.ops_completed = shard.latency.count();
+    pr.op_p50_us = shard.latency.percentile(50);
+    pr.op_p99_us = shard.latency.percentile(99);
+    shards_ok = shards_ok && pr.ok;
+    r.per_shard.push_back(std::move(pr));
+  }
+
+  // The cross-shard isolation invariant: an op may give up only when its
+  // own shard was faulted; any abort on a healthy shard fails the run.
+  if (aborted_healthy_ != 0 && failure_.empty()) {
+    r.failure = std::to_string(aborted_healthy_) +
+                " op(s) aborted on healthy shards (isolation violated)";
+  }
+  r.ok = !failed_ && shards_ok && aborted_healthy_ == 0;
+  return r;
+}
+
+void ShardedSimRunner::apply(const ShardedAction& a) {
+  // A queued map growth lands lazily inside the next workload (the "epoch
+  // change under load" path); any other action materializes it up front.
+  if (a.kind != ShardedAction::Kind::kWorkload &&
+      a.kind != ShardedAction::Kind::kGrowMap) {
+    adopt_pending_grow();
+  }
+  switch (a.kind) {
+    case ShardedAction::Kind::kRunFor:
+      run_all_for(a.duration);
+      return;
+    case ShardedAction::Kind::kAwaitAllConverged: {
+      auto all_converged = [&] {
+        for (const ShardState& shard : shards_) {
+          if (!shard.paused && !shard.world->converged()) return false;
+        }
+        return true;
+      };
+      if (!await_all(a.duration, all_converged)) {
+        fail(a, "a healthy shard missed the convergence budget");
+        return;
+      }
+      for (ShardState& shard : shards_) {
+        if (shard.paused) continue;
+        shard.trace->record(scenario::TraceKind::kConverged, kNoNode,
+                            digest_ids(*shard.world->common_config()));
+      }
+      return;
+    }
+    case ShardedAction::Kind::kWorkload:
+      do_workload(a);
+      return;
+    case ShardedAction::Kind::kCrashOneInShard: {
+      ShardState& shard = shards_[a.shard];
+      const IdSet alive = shard.world->alive();
+      if (alive.empty()) {
+        fail(a, "no alive node to crash in shard " + std::to_string(a.shard));
+        return;
+      }
+      const NodeId victim = *alive.begin();
+      shard.registry->unmark_stable();
+      shard.world->crash(victim);
+      shard.trace->record(scenario::TraceKind::kNodeCrashed, victim);
+      return;
+    }
+    case ShardedAction::Kind::kPauseShard: {
+      ShardState& shard = shards_[a.shard];
+      shard.registry->unmark_stable();
+      shard.paused = true;
+      for (NodeId id : shard.world->alive()) {
+        shard.world->network().isolate(id);
+        shard.trace->record(scenario::TraceKind::kNodePaused, id);
+      }
+      return;
+    }
+    case ShardedAction::Kind::kResumeShard: {
+      ShardState& shard = shards_[a.shard];
+      shard.paused = false;
+      for (NodeId id : shard.world->alive()) {
+        shard.world->network().rejoin(id);
+        shard.trace->record(scenario::TraceKind::kNodeResumed, id);
+      }
+      return;
+    }
+    case ShardedAction::Kind::kGrowMap:
+      pending_grow_ = true;
+      return;
+    case ShardedAction::Kind::kMarkStable:
+      for (ShardState& shard : shards_) {
+        if (shard.paused) continue;
+        shard.registry->mark_stable();
+        shard.trace->record(scenario::TraceKind::kStableMarked, kNoNode);
+      }
+      return;
+  }
+}
+
+bool ShardedSimRunner::drive_attempt(const Router::Op& op, NodeId target) {
+  ShardState& shard = shards_[op.shard];
+  harness::World& world = *shard.world;
+  if (!world.has_node(target) || world.node(target).crashed()) return false;
+  auto& client = world.node(target).increment();
+  // A stalled shard cannot complete anything; the runner knows that (it
+  // injected the stall) and keeps per-attempt patience short so the
+  // router's bounded give-up path doesn't dominate virtual time. The
+  // router's verdicts are unaffected — it still burns its full budget.
+  const SimTime busy_budget = shard.paused ? 5 * kSec : 30 * kSec;
+  const SimTime done_budget = shard.paused ? 5 * kSec : 120 * kSec;
+  if (!await_all(busy_budget, [&] { return !client.busy(); })) return false;
+  auto st = std::make_shared<PendingOp>();
+  st->started = world.scheduler().now();
+  if (!client.begin([st](std::optional<counter::Counter> c) {
+        st->got = std::move(c);
+        st->done = true;
+      })) {
+    return false;
+  }
+  await_all(done_budget, [&] { return st->done; });
+  if (st->done && st->got) {
+    shard.registry->counter_order().record(st->started,
+                                           world.scheduler().now(), *st->got);
+    shard.latency.record(world.scheduler().now() - st->started);
+    shard.trace->record(scenario::TraceKind::kIncrementDone, target, 1,
+                        st->got->seqn);
+    return true;
+  }
+  if (st->done) {
+    shard.trace->record(scenario::TraceKind::kIncrementDone, target, 0, 0);
+  } else {
+    outstanding_.emplace_back(op.shard, target, st);
+  }
+  return false;
+}
+
+void ShardedSimRunner::do_workload(const ShardedAction& a) {
+  for (std::uint64_t i = 0; i < a.n; ++i) {
+    const std::string key = a.key_prefix + ":" + std::to_string(i);
+    Router::Op op = router_.begin(key);
+    bool completed = false;
+    for (;;) {
+      refresh_config(op.shard);
+      const auto target = router_.target(op);
+      if (target && drive_attempt(op, *target)) {
+        completed = true;
+        break;
+      }
+      // A failed attempt is when a queued epoch change becomes visible —
+      // exactly the moment a real client would learn its map is stale.
+      adopt_pending_grow();
+      const Router::Verdict v = router_.on_failure(op);
+      if (v == Router::Verdict::kGiveUp) break;
+      if (v == Router::Verdict::kRedirect) ++redirects_;
+    }
+    ++ops_attempted_;
+    if (completed) {
+      ++ops_completed_;
+    } else if (shards_[op.shard].paused) {
+      ++aborted_faulted_;
+    } else {
+      ++aborted_healthy_;
+    }
+  }
+  // No attempt failed, so nothing pulled the queued map in: adopt it now
+  // rather than letting it leak past the workload it was aimed at.
+  adopt_pending_grow();
+  harvest_outstanding();
+}
+
+void ShardedSimRunner::harvest_outstanding() {
+  std::erase_if(outstanding_, [&](const auto& entry) {
+    const auto& [s, target, st] = entry;
+    if (!st->done) return false;
+    if (st->got) {
+      ShardState& shard = shards_[s];
+      shard.registry->counter_order().record(
+          st->started, shard.world->scheduler().now(), *st->got);
+      shard.latency.record(shard.world->scheduler().now() - st->started);
+      shard.trace->record(scenario::TraceKind::kIncrementDone, target, 1,
+                          st->got->seqn);
+    }
+    return true;
+  });
+}
+
+ShardedResult run_sharded_sim(const ShardedSpec& spec, std::uint64_t seed) {
+  ShardedSimRunner runner(spec, seed);
+  return runner.run();
+}
+
+}  // namespace ssr::shard

@@ -1,0 +1,92 @@
+#pragma once
+
+// Deterministic multi-shard backend. One harness::World per shard, all
+// advanced on a single thread in fixed round-robin slices, so a run is a
+// pure function of (spec, seed): per-shard trace hashes replay bit-for-bit.
+// The keyed workload goes through the client Router exactly as a real
+// client would — hash the key, pick the shard's current configuration,
+// retry/redirect on failure within the router's bounded budgets.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "counter/counter.hpp"
+#include "harness/world.hpp"
+#include "scenario/invariants.hpp"
+#include "scenario/trace.hpp"
+#include "shard/router.hpp"
+#include "shard/sharded_scenario.hpp"
+#include "util/histogram.hpp"
+
+namespace ssr::shard {
+
+class ShardedSimRunner : public ShardedBackend {
+ public:
+  ShardedSimRunner(ShardedSpec spec, std::uint64_t seed);
+  ~ShardedSimRunner() override;
+
+  ShardedResult run() override;
+
+ private:
+  /// Everything one shard owns: its own fabric, protocol stack, invariant
+  /// registry, trace and workload latency histogram. Shards share nothing
+  /// but the lockstep clock — the isolation invariant is meaningful only
+  /// because of that.
+  struct ShardState {
+    std::unique_ptr<harness::World> world;
+    std::unique_ptr<scenario::InvariantRegistry> registry;
+    std::unique_ptr<scenario::TraceRecorder> trace;
+    util::LatencyHistogram latency;
+    bool paused = false;
+  };
+
+  struct PendingOp {
+    SimTime started = 0;
+    bool done = false;
+    std::optional<counter::Counter> got;
+  };
+
+  /// Advances every world by `d`, interleaved in kSliceUs chunks so no
+  /// shard's virtual clock runs ahead of the others by more than one slice.
+  void run_all_for(SimTime d);
+  /// Lockstep await: steps all worlds until `pred` holds or `budget` of
+  /// virtual time elapses. Returns whether the predicate was met.
+  bool await_all(SimTime budget, const std::function<bool()>& pred);
+
+  void apply(const ShardedAction& a);
+  void do_workload(const ShardedAction& a);
+  /// One routed attempt: drives an increment on `target` of `op.shard`.
+  bool drive_attempt(const Router::Op& op, NodeId target);
+  /// Feeds the router the shard's current membership (the common
+  /// configuration when one exists, the alive set while reconfiguring).
+  void refresh_config(ShardId s);
+  /// Adopts the pending grown map (kGrowMap) if one is queued.
+  void adopt_pending_grow();
+  void fail(const ShardedAction& a, const std::string& detail);
+  /// Late completions of attempts whose await timed out: fold them into the
+  /// shard's counter-order monitor and latency histogram. Observing a
+  /// finish late only widens its [started, finished] interval, which can
+  /// never manufacture a false real-time-ordered pair.
+  void harvest_outstanding();
+
+  ShardedSpec spec_;
+  std::uint64_t seed_;
+  Router router_;
+  std::vector<ShardState> shards_;
+  std::vector<std::tuple<ShardId, NodeId, std::shared_ptr<PendingOp>>>
+      outstanding_;
+  bool pending_grow_ = false;
+  bool failed_ = false;
+  std::string failure_;
+  std::uint64_t ops_attempted_ = 0;
+  std::uint64_t ops_completed_ = 0;
+  std::uint64_t aborted_faulted_ = 0;
+  std::uint64_t aborted_healthy_ = 0;
+  std::uint64_t redirects_ = 0;
+};
+
+/// Convenience wrapper mirroring scenario::run_scenario().
+ShardedResult run_sharded_sim(const ShardedSpec& spec, std::uint64_t seed);
+
+}  // namespace ssr::shard

@@ -1,58 +1,126 @@
 #include "util/id_set.hpp"
 
+#include <cstring>
+
 namespace ssr {
 
-IdSet::IdSet(std::initializer_list<NodeId> ids) : ids_(ids) {
-  std::sort(ids_.begin(), ids_.end());
-  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+void IdSet::grow(std::size_t need) {
+  if (need <= capacity_) return;
+  std::size_t cap = capacity_ * 2;
+  if (cap < need) cap = need;
+  NodeId* fresh = new NodeId[cap];
+  std::memcpy(fresh, data(), size_ * sizeof(NodeId));
+  delete[] heap_;
+  heap_ = fresh;
+  capacity_ = cap;
+}
+
+void IdSet::copy_from(const IdSet& other) {
+  size_ = other.size_;
+  if (other.size_ <= kInlineCapacity) {
+    capacity_ = kInlineCapacity;
+    heap_ = nullptr;
+    std::memcpy(inline_, other.data(), size_ * sizeof(NodeId));
+  } else {
+    capacity_ = other.size_;
+    heap_ = new NodeId[capacity_];
+    std::memcpy(heap_, other.heap_, size_ * sizeof(NodeId));
+  }
+}
+
+void IdSet::steal_from(IdSet& other) noexcept {
+  size_ = other.size_;
+  if (other.heap_ != nullptr) {
+    heap_ = other.heap_;
+    capacity_ = other.capacity_;
+    other.heap_ = nullptr;
+  } else {
+    heap_ = nullptr;
+    capacity_ = kInlineCapacity;
+    std::memcpy(inline_, other.inline_, size_ * sizeof(NodeId));
+  }
+  other.size_ = 0;
+  other.capacity_ = kInlineCapacity;
+}
+
+IdSet::IdSet(std::initializer_list<NodeId> ids) {
+  for (NodeId id : ids) insert(id);
 }
 
 IdSet IdSet::from_vector(std::vector<NodeId> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
   IdSet s;
-  s.ids_ = std::move(ids);
-  std::sort(s.ids_.begin(), s.ids_.end());
-  s.ids_.erase(std::unique(s.ids_.begin(), s.ids_.end()), s.ids_.end());
+  s.grow(ids.size());
+  s.size_ = ids.size();
+  std::memcpy(s.data(), ids.data(), ids.size() * sizeof(NodeId));
   return s;
 }
 
+bool IdSet::insert_slow(NodeId id) {
+  NodeId* p = data();
+  NodeId* it = std::lower_bound(p, p + size_, id);
+  if (it != p + size_ && *it == id) return false;
+  const std::size_t at = static_cast<std::size_t>(it - p);
+  if (size_ == capacity_) {
+    grow(size_ + 1);
+    p = data();
+  }
+  std::memmove(p + at + 1, p + at, (size_ - at) * sizeof(NodeId));
+  p[at] = id;
+  ++size_;
+  return true;
+}
+
 bool IdSet::erase(NodeId id) {
-  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
-  if (it == ids_.end() || *it != id) return false;
-  ids_.erase(it);
+  NodeId* p = data();
+  NodeId* it = std::lower_bound(p, p + size_, id);
+  if (it == p + size_ || *it != id) return false;
+  std::memmove(it, it + 1,
+               (size_ - static_cast<std::size_t>(it - p) - 1) *
+                   sizeof(NodeId));
+  --size_;
   return true;
 }
 
 bool IdSet::subset_of(const IdSet& other) const {
-  return std::includes(other.ids_.begin(), other.ids_.end(), ids_.begin(),
-                       ids_.end());
+  return std::includes(other.begin(), other.end(), begin(), end());
 }
 
 IdSet IdSet::intersect(const IdSet& other) const {
   IdSet out;
-  std::set_intersection(ids_.begin(), ids_.end(), other.ids_.begin(),
-                        other.ids_.end(), std::back_inserter(out.ids_));
+  // Result is no larger than the smaller input; reserve once so the
+  // set-algorithm loop below appends without reallocating.
+  out.grow(std::min(size_, other.size_));
+  const NodeId* last = std::set_intersection(begin(), end(), other.begin(),
+                                             other.end(), out.data());
+  out.size_ = static_cast<std::size_t>(last - out.data());
   return out;
 }
 
 IdSet IdSet::unite(const IdSet& other) const {
   IdSet out;
-  std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(),
-                 other.ids_.end(), std::back_inserter(out.ids_));
+  out.grow(size_ + other.size_);
+  const NodeId* last = std::set_union(begin(), end(), other.begin(),
+                                      other.end(), out.data());
+  out.size_ = static_cast<std::size_t>(last - out.data());
   return out;
 }
 
 IdSet IdSet::subtract(const IdSet& other) const {
   IdSet out;
-  std::set_difference(ids_.begin(), ids_.end(), other.ids_.begin(),
-                      other.ids_.end(), std::back_inserter(out.ids_));
+  out.grow(size_);
+  const NodeId* last = std::set_difference(begin(), end(), other.begin(),
+                                           other.end(), out.data());
+  out.size_ = static_cast<std::size_t>(last - out.data());
   return out;
 }
 
 std::size_t IdSet::intersection_size(const IdSet& other) const {
   std::size_t n = 0;
-  auto a = ids_.begin();
-  auto b = other.ids_.begin();
-  while (a != ids_.end() && b != other.ids_.end()) {
+  const NodeId* a = begin();
+  const NodeId* b = other.begin();
+  while (a != end() && b != other.end()) {
     if (*a < *b) {
       ++a;
     } else if (*b < *a) {
@@ -68,9 +136,10 @@ std::size_t IdSet::intersection_size(const IdSet& other) const {
 
 std::string IdSet::to_string() const {
   std::string out = "{";
-  for (std::size_t i = 0; i < ids_.size(); ++i) {
+  const NodeId* p = data();
+  for (std::size_t i = 0; i < size_; ++i) {
     if (i != 0) out += ",";
-    out += std::to_string(ids_[i]);
+    out += std::to_string(p[i]);
   }
   out += "}";
   return out;

@@ -1,0 +1,112 @@
+#include "shard/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ssr::shard {
+namespace {
+
+TEST(Router, RoutesKeysByCurrentMap) {
+  Router router(ShardMap::uniform(4));
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "key:" + std::to_string(i);
+    EXPECT_EQ(router.route(key), router.map().shard_for_key(key));
+    EXPECT_LT(router.route(key), 4u);
+  }
+}
+
+TEST(Router, AdoptionIsEpochMonotonic) {
+  Router router(ShardMap::uniform(2, 5));
+  EXPECT_FALSE(router.adopt(ShardMap::uniform(4, 5)));   // equal epoch
+  EXPECT_FALSE(router.adopt(ShardMap::uniform(4, 3)));   // stale
+  EXPECT_EQ(router.map().shard_count(), 2u);
+  EXPECT_TRUE(router.adopt(ShardMap::uniform(4, 6)));
+  EXPECT_EQ(router.map().shard_count(), 4u);
+  EXPECT_EQ(router.map().epoch(), 6u);
+}
+
+TEST(Router, ListenersArePushedAdoptedMaps) {
+  Router router(ShardMap::uniform(1));
+  std::vector<std::uint64_t> seen_a;
+  std::vector<std::uint64_t> seen_b;
+  const std::size_t a =
+      router.add_listener([&](const ShardMap& m) { seen_a.push_back(m.epoch()); });
+  const std::size_t b =
+      router.add_listener([&](const ShardMap& m) { seen_b.push_back(m.epoch()); });
+  router.adopt(router.map().with_shard_added());  // epoch 2
+  router.adopt(ShardMap::uniform(2, 1));          // stale: no callback
+  router.remove_listener(b);
+  router.adopt(router.map().with_shard_added());  // epoch 3
+  EXPECT_EQ(seen_a, (std::vector<std::uint64_t>{2, 3}));
+  EXPECT_EQ(seen_b, (std::vector<std::uint64_t>{2}));
+  router.remove_listener(a);
+  router.adopt(router.map().with_shard_added());
+  EXPECT_EQ(seen_a.size(), 2u);
+}
+
+TEST(Router, TargetRotatesThroughShardConfig) {
+  Router router(ShardMap::uniform(2));
+  Router::Op op = router.begin("some-key");
+  EXPECT_EQ(router.target(op), std::nullopt);  // config unknown yet
+
+  router.note_config(op.shard, IdSet{101, 102, 103});
+  ASSERT_TRUE(router.target(op).has_value());
+  const NodeId first = *router.target(op);
+  EXPECT_EQ(router.on_failure(op), Router::Verdict::kRetry);
+  const NodeId second = *router.target(op);
+  EXPECT_NE(first, second);
+  // Cursor wraps: three members, three distinct targets then repeat.
+  EXPECT_EQ(router.on_failure(op), Router::Verdict::kRetry);
+  EXPECT_EQ(router.on_failure(op), Router::Verdict::kRetry);
+  EXPECT_EQ(*router.target(op), first);
+}
+
+TEST(Router, BoundedRetriesThenGiveUp) {
+  Router router(ShardMap::uniform(1));
+  router.note_config(0, IdSet{1});
+  Router::Op op = router.begin("k");
+  std::uint32_t retries = 0;
+  while (router.on_failure(op) == Router::Verdict::kRetry) ++retries;
+  EXPECT_EQ(retries + 1, router.max_attempts());
+  // Once exhausted the verdict stays kGiveUp.
+  EXPECT_EQ(router.on_failure(op), Router::Verdict::kGiveUp);
+}
+
+TEST(Router, MapChangeMidOpRedirects) {
+  Router router(ShardMap::uniform(1));
+  router.note_config(0, IdSet{1, 2});
+  Router::Op op = router.begin("k");
+  EXPECT_EQ(router.on_failure(op), Router::Verdict::kRetry);
+  EXPECT_EQ(op.attempts, 1u);
+
+  // The shard map grows under the op: next failure re-routes the key and
+  // resets the attempt budget.
+  router.adopt(router.map().with_shard_added());
+  EXPECT_EQ(router.on_failure(op), Router::Verdict::kRedirect);
+  EXPECT_EQ(op.attempts, 0u);
+  EXPECT_EQ(op.redirects, 1u);
+  EXPECT_EQ(op.map_epoch, router.map().epoch());
+  EXPECT_EQ(op.shard, router.route("k"));
+}
+
+TEST(Router, RedirectBudgetIsBounded) {
+  Router router(ShardMap::uniform(1));
+  router.note_config(0, IdSet{1});
+  Router::Op op = router.begin("k");
+  std::uint32_t redirects = 0;
+  // A pathologically flapping map: every failure sees a newer epoch.
+  for (;;) {
+    router.adopt(router.map().at_epoch(router.map().epoch() + 1));
+    const auto v = router.on_failure(op);
+    if (v == Router::Verdict::kGiveUp) break;
+    ASSERT_EQ(v, Router::Verdict::kRedirect);
+    ++redirects;
+    ASSERT_LE(redirects, 100u);  // safety net
+  }
+  EXPECT_EQ(redirects, router.max_redirects());
+}
+
+}  // namespace
+}  // namespace ssr::shard

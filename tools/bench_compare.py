@@ -20,7 +20,16 @@ import sys
 def load(path):
     with open(path) as f:
         doc = json.load(f)
-    return {s["name"]: s for s in doc.get("scenarios", [])}
+    return (
+        {s["name"]: s for s in doc.get("scenarios", [])},
+        {s["shards"]: s for s in doc.get("sharded_throughput", [])},
+    )
+
+
+# Shared-nothing scaling floors for --check-shard-scaling: aggregate
+# capacity (CPU-time normalized, so stable on shared runners) must reach
+# these multiples of the 1-shard run.
+SHARD_SCALING_FLOORS = {2: 1.6, 4: 2.5}
 
 
 def main():
@@ -34,13 +43,20 @@ def main():
         metavar="FACTOR",
         help="fail when events/sec drops by more than FACTOR on any scenario",
     )
+    ap.add_argument(
+        "--check-shard-scaling",
+        action="store_true",
+        help="fail unless the candidate's sharded throughput reaches "
+        + ", ".join(f"{v}x at {k} shards" for k, v in SHARD_SCALING_FLOORS.items()),
+    )
     args = ap.parse_args()
 
-    base = load(args.baseline)
-    cand = load(args.candidate)
+    base, base_sharded = load(args.baseline)
+    cand, cand_sharded = load(args.candidate)
 
     rows = []
     failed = []
+    scaling_failed = []
     for name in sorted(set(base) | set(cand)):
         b = base.get(name)
         c = cand.get(name)
@@ -62,15 +78,39 @@ def main():
         else:
             print(f"{name:<28} {b:>14,.0f} {c:>15,.0f} {speedup:>7.2f}x")
 
-    if failed:
-        for name, speedup in failed:
-            print(
-                f"REGRESSION: {name} at {speedup:.2f}x of baseline "
-                f"(threshold {1.0 / args.max_regress:.2f}x)",
-                file=sys.stderr,
-            )
-        return 1
-    return 0
+    if base_sharded or cand_sharded:
+        print()
+        print(
+            f"{'sharded throughput':<28} {'baseline ev/cpu-s':>18} "
+            f"{'candidate ev/cpu-s':>19} {'cand scaling':>13}"
+        )
+        for shards in sorted(set(base_sharded) | set(cand_sharded)):
+            b_eps = base_sharded.get(shards, {}).get("agg_events_per_cpu_sec")
+            c_eps = cand_sharded.get(shards, {}).get("agg_events_per_cpu_sec")
+            scaling = cand_sharded.get(shards, {}).get("speedup_vs_1shard")
+            b_col = f"{b_eps:,.0f}" if b_eps is not None else "—"
+            c_col = f"{c_eps:,.0f}" if c_eps is not None else "—"
+            s_col = f"{scaling:.2f}x" if scaling is not None else "—"
+            print(f"{f'{shards} shard(s)':<28} {b_col:>18} {c_col:>19} {s_col:>13}")
+        if args.check_shard_scaling:
+            for shards, floor in SHARD_SCALING_FLOORS.items():
+                got = cand_sharded.get(shards, {}).get("speedup_vs_1shard", 0.0)
+                if got < floor:
+                    scaling_failed.append((shards, got, floor))
+
+    for name, speedup in failed:
+        print(
+            f"REGRESSION: {name} at {speedup:.2f}x of baseline "
+            f"(threshold {1.0 / args.max_regress:.2f}x)",
+            file=sys.stderr,
+        )
+    for shards, got, floor in scaling_failed:
+        print(
+            f"SCALING: {shards} shards reached {got:.2f}x of the 1-shard "
+            f"aggregate (floor {floor}x)",
+            file=sys.stderr,
+        )
+    return 1 if failed or scaling_failed else 0
 
 
 if __name__ == "__main__":

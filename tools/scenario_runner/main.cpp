@@ -34,8 +34,11 @@
 
 #include "scenario/library.hpp"
 #include "scenario/runner.hpp"
+#include "shard/sharded_scenario.hpp"
+#include "shard/sharded_sim.hpp"
 #ifdef __unix__
 #include "scenario/process_runner.hpp"
+#include "shard/sharded_process.hpp"
 #endif
 
 namespace {
@@ -47,6 +50,7 @@ struct CliOptions {
   bool list = false;
   bool all = false;
   std::vector<std::string> names;
+  bool sharded = false;
   std::uint64_t seed = 1;
   std::size_t trace_lines = 0;
   std::string backend = "sim";
@@ -63,6 +67,42 @@ void list_scenarios() {
     std::printf("%-26s %zu nodes%s  %s\n", s.name.c_str(), s.initial_nodes,
                 s.enable_vs ? " +vs" : "    ", s.description.c_str());
   }
+}
+
+void list_sharded_scenarios() {
+  for (const auto& s : shard::sharded_library()) {
+    std::printf("%-26s %u shards x %zu nodes  %s\n", s.name.c_str(), s.shards,
+                s.nodes_per_shard, s.description.c_str());
+  }
+}
+
+/// Runs one sharded spec under the selected backend; prints the aggregate
+/// summary and one line per shard.
+bool run_one_sharded(const shard::ShardedSpec& spec, const CliOptions& cli) {
+  shard::ShardedResult r;
+  if (cli.backend == "process") {
+#ifdef __unix__
+    ProcessBackendOptions opt;
+    opt.node_binary = cli.node_bin;
+    opt.work_dir =
+        cli.work_dir.empty() ? "" : cli.work_dir + "/" + spec.name;
+    opt.keep_dir = cli.keep_logs;
+    opt.time_scale = cli.time_scale;
+    opt.seed = cli.seed;
+    r = shard::run_sharded_process(spec, opt);
+#else
+    std::fprintf(stderr, "backend 'process' is not available on this "
+                         "platform\n");
+    return false;
+#endif
+  } else {
+    r = shard::run_sharded_sim(spec, cli.seed);
+  }
+  std::printf("%s\n", r.summary().c_str());
+  for (const ScenarioResult& pr : r.per_shard) {
+    std::printf("  %s\n", pr.summary().c_str());
+  }
+  return r.ok;
 }
 
 std::unique_ptr<ScenarioBackend> make_backend(const ScenarioSpec& spec,
@@ -168,6 +208,8 @@ int usage() {
       "usage: scenario_runner --list\n"
       "       scenario_runner (--run NAME)... | --all  [options]\n"
       "options:\n"
+      "  --sharded         use the multi-shard scenario library (K node\n"
+      "                    fleets + client-side router; both backends)\n"
       "  --seed N          runner seed (default 1)\n"
       "  --trace K         dump the first K trace events\n"
       "  --backend B       sim (default) | process\n"
@@ -203,6 +245,8 @@ int main(int argc, char** argv) {
       cli.list = true;
     } else if (arg == "--all") {
       cli.all = true;
+    } else if (arg == "--sharded") {
+      cli.sharded = true;
     } else if (arg == "--run" && i + 1 < nargs) {
       cli.names.push_back(args[++i]);
     } else if (arg == "--seed" && i + 1 < nargs) {
@@ -249,21 +293,49 @@ int main(int argc, char** argv) {
                  "--record/--diff work on the deterministic sim backend\n");
     return 2;
   }
+  if (cli.sharded &&
+      (!cli.record_path.empty() || !cli.diff_path.empty())) {
+    // A sharded run has one trace per shard, not one recordable stream.
+    std::fprintf(stderr, "--record/--diff do not apply to --sharded runs\n");
+    return 2;
+  }
 
   if (cli.list) {
-    list_scenarios();
+    if (cli.sharded) {
+      list_sharded_scenarios();
+    } else {
+      list_scenarios();
+    }
     return 0;
   }
   if (cli.all) {
     bool ok = true;
-    for (const auto& s : library()) {
-      ok = run_one(s, cli) && ok;
+    if (cli.sharded) {
+      for (const auto& s : shard::sharded_library()) {
+        ok = run_one_sharded(s, cli) && ok;
+      }
+    } else {
+      for (const auto& s : library()) {
+        ok = run_one(s, cli) && ok;
+      }
     }
     return ok ? 0 : 1;
   }
   if (!cli.names.empty()) {
     bool ok = true;
     for (const std::string& name : cli.names) {
+      if (cli.sharded) {
+        auto spec = shard::find_sharded_scenario(name);
+        if (!spec) {
+          std::fprintf(stderr,
+                       "unknown sharded scenario '%s' (try --sharded "
+                       "--list)\n",
+                       name.c_str());
+          return 2;
+        }
+        ok = run_one_sharded(*spec, cli) && ok;
+        continue;
+      }
       auto spec = find_scenario(name);
       if (!spec) {
         std::fprintf(stderr, "unknown scenario '%s' (try --list)\n",

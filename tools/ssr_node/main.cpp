@@ -71,6 +71,7 @@ struct Options {
   std::size_t ack_threshold = 3;
   std::uint64_t seed = 0;  // 0 = derive from id
   std::uint64_t exhaust_bound = 0;  // 0 = keep the counter default
+  std::uint32_t shard = 0;  // envelope shard tag (sharded deployments)
   bool enable_vs = false;
   bool aggressive = false;
 };
@@ -171,8 +172,8 @@ class Daemon {
     IdSet seed_peers = all_ids_;
     seed_peers.erase(opt_.id);
     node_->start(seed_peers);
-    std::printf("SSR_NODE_START id=%u port=%u control=%u peers=%s\n", opt_.id,
-                transport_.local_port(), control_.port(),
+    std::printf("SSR_NODE_START id=%u shard=%u port=%u control=%u peers=%s\n",
+                opt_.id, opt_.shard, transport_.local_port(), control_.port(),
                 format_ids(seed_peers).c_str());
     std::fflush(stdout);
     if (!opt_.port_file.empty()) {
@@ -332,7 +333,8 @@ class Daemon {
     if (req.cmd == "STATUS") {
       const reconf::ConfigValue cfg = node_->recsa().get_config();
       std::ostringstream os;
-      os << "OK id=" << opt_.id << " t=" << transport_.now()
+      os << "OK id=" << opt_.id << " shard=" << transport_.config().shard
+         << " t=" << transport_.now()
          << " abs=" << steady_usec()
          << " noreco=" << (node_->recsa().no_reco() ? 1 : 0)
          << " part=" << (node_->recsa().is_participant() ? 1 : 0)
@@ -348,6 +350,7 @@ class Daemon {
          << " sent=" << transport_.stats().sent
          << " recv=" << transport_.stats().received
          << " malformed=" << transport_.stats().dropped_malformed
+         << " wrongshard=" << transport_.stats().dropped_wrong_shard
          << " filtin=" << transport_.stats().filtered_in
          << " filtout=" << transport_.stats().filtered_out;
       if (auto* v = node_->vs()) {
@@ -508,6 +511,9 @@ int main(int argc, char** argv) {
       opt.ack_threshold = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--seed" && i + 1 < argc) {
       opt.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--shard" && i + 1 < argc) {
+      opt.shard = static_cast<std::uint32_t>(
+          std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--exhaust-bound" && i + 1 < argc) {
       opt.exhaust_bound = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--vs") {
@@ -538,6 +544,7 @@ int main(int argc, char** argv) {
   net::UdpTransportConfig tcfg;
   tcfg.self = opt.id;
   tcfg.peers = *peers;
+  tcfg.shard = opt.shard;
   ssr::IdSet all_ids;
   for (const auto& [id, ep] : *peers) {
     (void)ep;
