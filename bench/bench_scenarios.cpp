@@ -30,6 +30,8 @@
 #include "net/channel.hpp"
 #include "scenario/library.hpp"
 #include "scenario/runner.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 // --- Global allocation counter ----------------------------------------------
 // Every operator new in the process bumps this counter; BM_ChannelSendAlloc
@@ -38,16 +40,35 @@
 // is exactly the point: any hidden allocation — closure, tombstone, payload
 // copy, container growth — is caught no matter which layer snuck it in.
 
+// Counting is disabled under ThreadSanitizer: TSan interposes on the
+// allocator itself, so replacing global operator new both fights those
+// interceptors and trips gcc's -Wmismatched-new-delete (malloc-backed new
+// paired with free). The zero-allocation contract is enforced by the
+// regular bench job; the TSan job is after races, not counts.
+#if defined(__SANITIZE_THREAD__)
+#define SSR_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SSR_TSAN_BUILD 1
+#endif
+#endif
+#ifndef SSR_TSAN_BUILD
+#define SSR_TSAN_BUILD 0
+#endif
+
 namespace {
 std::atomic<std::uint64_t> g_alloc_count{0};
 
+#if !SSR_TSAN_BUILD
 void* counted_alloc(std::size_t n) {
   g_alloc_count.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(n != 0 ? n : 1)) return p;
   throw std::bad_alloc();
 }
+#endif
 }  // namespace
 
+#if !SSR_TSAN_BUILD
 void* operator new(std::size_t n) { return counted_alloc(n); }
 void* operator new[](std::size_t n) { return counted_alloc(n); }
 void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
@@ -66,6 +87,7 @@ void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
 void operator delete[](void* p, const std::nothrow_t&) noexcept {
   std::free(p);
 }
+#endif  // !SSR_TSAN_BUILD
 
 namespace ssr::bench {
 namespace {
@@ -285,12 +307,24 @@ void BM_ShardedThroughput(benchmark::State& state) {
         scenario::Action::run_for(10 * kSec)}}};
   ShardedAgg local;
   std::uint64_t seed = 4200;
+  // Harvest shared across the shard threads; the mutex (and clang's
+  // -Wthread-safety on the SSR_GUARDED_BY field) enforces the discipline
+  // that the TSan job verifies dynamically.
+  struct ShardOutcome {
+    double cpu_sec = 0;
+    double events = 0;
+    bool ok = false;
+  };
+  util::Mutex harvest_mu;
+  std::vector<ShardOutcome> harvest SSR_GUARDED_BY(harvest_mu);
   for (auto _ : state) {
     const auto wall_start = std::chrono::steady_clock::now();
     std::vector<std::thread> threads;
-    std::vector<double> cpu(static_cast<std::size_t>(shards), 0.0);
-    std::vector<double> events(static_cast<std::size_t>(shards), 0.0);
-    std::vector<char> ok(static_cast<std::size_t>(shards), 0);
+    {
+      util::MutexLock lock(harvest_mu);
+      harvest.clear();
+      harvest.reserve(static_cast<std::size_t>(shards));
+    }
     const std::uint64_t base_seed = seed++;
     threads.reserve(static_cast<std::size_t>(shards));
     for (int s = 0; s < shards; ++s) {
@@ -299,15 +333,18 @@ void BM_ShardedThroughput(benchmark::State& state) {
         const scenario::ScenarioResult r = scenario::run_scenario(
             spec, base_seed + 0x9E3779B97F4A7C15ULL *
                                   static_cast<std::uint64_t>(s + 1));
-        cpu[static_cast<std::size_t>(s)] = thread_cpu_sec() - c0;
-        events[static_cast<std::size_t>(s)] =
-            static_cast<double>(r.sched_events);
-        ok[static_cast<std::size_t>(s)] = r.ok ? 1 : 0;
+        ShardOutcome out;
+        out.cpu_sec = thread_cpu_sec() - c0;
+        out.events = static_cast<double>(r.sched_events);
+        out.ok = r.ok;
+        util::MutexLock lock(harvest_mu);
+        harvest.push_back(out);
       });
     }
     for (std::thread& t : threads) t.join();
-    for (char o : ok) {
-      if (o == 0) {
+    util::MutexLock lock(harvest_mu);
+    for (const ShardOutcome& out : harvest) {
+      if (!out.ok) {
         state.SkipWithError("a shard's scenario failed");
         return;
       }
@@ -317,9 +354,9 @@ void BM_ShardedThroughput(benchmark::State& state) {
                          std::chrono::steady_clock::now() - wall_start)
                          .count();
     double iter_events = 0, iter_max_cpu = 0;
-    for (int s = 0; s < shards; ++s) {
-      iter_events += events[static_cast<std::size_t>(s)];
-      iter_max_cpu = std::max(iter_max_cpu, cpu[static_cast<std::size_t>(s)]);
+    for (const ShardOutcome& out : harvest) {
+      iter_events += out.events;
+      iter_max_cpu = std::max(iter_max_cpu, out.cpu_sec);
     }
     local.agg_events += iter_events;
     local.max_cpu_sec += iter_max_cpu;

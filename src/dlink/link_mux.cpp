@@ -11,6 +11,7 @@ LinkMux::PeerState& LinkMux::ensure_peer(NodeId peer) {
   auto it = peers_.find(peer);
   if (it != peers_.end()) return it->second;
   auto& ps = peers_[peer];
+  // ssr-lint: allow(hot-path-alloc): one-time link construction on first contact (cold path).
   ps.link = std::make_unique<TokenLink>(
       transport_, rng_.fork(), cfg_.link, self_, peer,
       /*compose=*/[this, peer]() { return compose(peer); },
@@ -50,7 +51,7 @@ void LinkMux::publish_state_all(Port port, const wire::Bytes& data) {
     // Pooled per-peer copy: the broadcast fan-out is the hottest publish
     // path and must not allocate once the pool is warm.
     wire::Bytes copy = wire::BufferPool::local().acquire();
-    copy.assign(data.begin(), data.end());
+    copy.assign(data.begin(), data.end());  // ssr-lint: allow(hot-path-alloc): pooled capacity
     publish_state(port, peer, std::move(copy));
   }
 }
@@ -73,6 +74,7 @@ bool LinkMux::send_datagram(Port port, NodeId peer, wire::Bytes data) {
   ps.link->start();
   auto& q = ps.datagrams[port];
   if (q.size() >= cfg_.datagram_queue_capacity) return false;
+  // ssr-lint: allow(hot-path-alloc): datagram queue, bounded by datagram_queue_capacity.
   q.push_back(std::move(data));
   return true;
 }
@@ -94,13 +96,16 @@ wire::Bytes LinkMux::compose(NodeId peer) {
     item.port = port;
     item.is_state = true;
     item.data = wire::BufferPool::local().acquire();
-    item.data.assign(data.begin(), data.end());
+    item.data.assign(data.begin(), data.end());  // ssr-lint: allow(hot-path-alloc): pooled capacity
+    // ssr-lint: allow(hot-path-alloc): scratch list keeps its capacity across rounds.
     compose_scratch_.push_back(std::move(item));
   }
   std::size_t budget = cfg_.max_datagrams_per_frame;
   for (auto& [port, q] : ps.datagrams) {
     while (budget > 0 && !q.empty()) {
-      compose_scratch_.push_back(BundleItem{port, false, std::move(q.front())});
+      // ssr-lint: allow(hot-path-alloc): scratch list keeps its capacity across rounds.
+      compose_scratch_.push_back(
+          BundleItem{port, false, std::move(q.front())});
       q.pop_front();
       --budget;
     }
@@ -150,7 +155,7 @@ IdSet LinkMux::peers() const {
   IdSet out;
   for (const auto& [peer, ps] : peers_) {
     (void)ps;
-    out.insert(peer);
+    out.insert(peer);  // ssr-lint: allow(hot-path-alloc): cold accessor (tests/monitors only)
   }
   return out;
 }

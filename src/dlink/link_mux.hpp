@@ -32,7 +32,10 @@ struct MuxConfig {
 class LinkMux {
  public:
   /// Delivery of one bundle item to a subscriber.
-  using DeliverFn = std::function<void(NodeId from, const wire::Bytes& data)>;
+  using DeliverFn =
+      // ssr-lint: allow(hot-path-alloc): seam, wired once per port at startup
+      std::function<void(NodeId from, const wire::Bytes& data)>;
+  // ssr-lint: allow(hot-path-alloc): seam, wired once per port at startup.
   using HeartbeatFn = std::function<void(NodeId peer)>;
 
   LinkMux(net::Transport& transport, NodeId self, MuxConfig cfg, Rng rng);

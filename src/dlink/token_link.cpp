@@ -55,6 +55,7 @@ bool decode_bundle(const wire::Bytes& raw, std::vector<BundleItem>& out) {
     item.is_state = r.boolean();
     item.data = r.bytes();
     if (!r.ok()) return false;
+    // ssr-lint: allow(hot-path-alloc): decode scratch growth; buffers inside are pooled.
     out.push_back(std::move(item));
   }
   return r.ok() && r.exhausted();
@@ -161,6 +162,7 @@ void TokenLink::handle_frame(const Frame& frame) {
           std::find(rx_recent_.begin(), rx_recent_.end(), frame.label) !=
           rx_recent_.end();
       if (!seen) {
+        // ssr-lint: allow(hot-path-alloc): label-history deque, bounded by label_domain/2.
         rx_recent_.push_front(frame.label);
         // History shorter than the label domain (else fresh labels would be
         // rejected) but long enough to cover reordered stragglers.

@@ -40,10 +40,13 @@ struct LinkConfig {
 class TokenLink {
  public:
   /// Called when the sender side may compose the next frame payload.
+  // ssr-lint: allow(hot-path-alloc): wired once at link construction, never on the frame path.
   using ComposeFn = std::function<wire::Bytes()>;
   /// Called when the receiver side delivers a fresh payload.
+  // ssr-lint: allow(hot-path-alloc): wired once at link construction, never on the frame path.
   using DeliverFn = std::function<void(const wire::Bytes&)>;
   /// Called on token progress (fresh data received / round completed).
+  // ssr-lint: allow(hot-path-alloc): wired once at link construction, never on the frame path.
   using HeartbeatFn = std::function<void()>;
 
   TokenLink(net::Transport& transport, Rng rng, LinkConfig cfg, NodeId self,

@@ -64,6 +64,7 @@ RecSA::RecSA(dlink::LinkMux& mux, NodeId self, FdSupplier fd_supplier,
       options_(options) {
   // Boot interrupt (line 31): every entry starts as (], dfltNtf, false);
   // absent records read exactly that way, so only the own record is created.
+  ++state_version_;  // boot writes records_/fd_self_ directly
   records_[self_] = PeerRecord{};
   fd_self_.insert(self_);
   mux_.subscribe(dlink::kPortRecSA,

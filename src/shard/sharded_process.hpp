@@ -32,6 +32,11 @@ namespace ssr::shard {
 /// once; fleet scratch directories follow ProcessRunner's keep-on-failure
 /// rules. The per-fleet options are taken from `opt` with work_dir, seed
 /// and shard specialized per fleet.
+///
+/// Threading: deliberately single-threaded. Fleets are separate OS
+/// processes driven round-robin from one control loop, so there is no
+/// shared in-process state to guard — nothing here needs SSR_GUARDED_BY
+/// (see util/thread_annotations.hpp for the surfaces that do).
 class ShardedProcessRunner final : public ShardedBackend {
  public:
   ShardedProcessRunner(ShardedSpec spec, scenario::ProcessBackendOptions opt);

@@ -17,6 +17,7 @@ std::uint32_t Scheduler::alloc_slot() {
     slots_[slot].next_free = kNoSlot;
     return slot;
   }
+  // ssr-lint: allow(hot-path-alloc): slab growth, bounded by the peak live-event population.
   slots_.emplace_back();
   return static_cast<std::uint32_t>(slots_.size() - 1);
 }
@@ -40,6 +41,7 @@ void Scheduler::free_slot(std::uint32_t slot) {
 
 void Scheduler::heap_push(const HeapEntry& e) const {
   std::size_t i = heap_.size();
+  // ssr-lint: allow(hot-path-alloc): amortized heap growth, capacity sticks across laps.
   heap_.resize(i + 1);
   while (i > 0) {
     const std::size_t parent = (i - 1) >> 2;
@@ -75,6 +77,7 @@ Scheduler::Handle Scheduler::push_event(SimTime when, std::uint32_t slot) {
   HeapEntry e{when, next_seq_++, slot, slots_[slot].gen};
   ++live_;
   if (in_step_) {
+    // ssr-lint: allow(hot-path-alloc): staging buffer keeps its capacity across steps.
     staged_.push_back(e);
   } else {
     heap_push(e);

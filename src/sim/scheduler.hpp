@@ -37,6 +37,7 @@ class PacketSink {
 /// the slot; the stale heap entry is dropped lazily when it surfaces).
 class Scheduler {
  public:
+  // ssr-lint: allow(hot-path-alloc): closure events are the cold path; packets ride PacketSink.
   using Action = std::function<void()>;
 
   /// Handle used to cancel a scheduled event (e.g., timers of a crashed

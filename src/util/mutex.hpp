@@ -1,0 +1,39 @@
+#pragma once
+
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace ssr::util {
+
+// std::mutex with clang thread-safety-analysis capability attributes, so
+// fields can be declared SSR_GUARDED_BY(mu_) and functions SSR_REQUIRES(mu_).
+// The analysis does not see through std::lock_guard<std::mutex>, hence the
+// thin wrapper instead of using std::mutex directly.
+class SSR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SSR_ACQUIRE() { mu_.lock(); }
+  void unlock() SSR_RELEASE() { mu_.unlock(); }
+  bool try_lock() SSR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// Scoped lock for util::Mutex, visible to the analysis.
+class SSR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SSR_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() SSR_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace ssr::util

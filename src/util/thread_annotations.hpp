@@ -1,0 +1,35 @@
+#pragma once
+
+// Clang thread-safety analysis attributes, compiled to nothing elsewhere.
+// Under clang the build adds -Wthread-safety (promoted to an error in CI),
+// so a lock-discipline violation on annotated state fails the build instead
+// of surfacing as a TSan report three jobs later.
+//
+// Usage pattern (see util::Mutex in mutex.hpp for the annotated wrapper):
+//
+//   util::Mutex mu_;
+//   int shared_ SSR_GUARDED_BY(mu_);
+//   void touch() SSR_REQUIRES(mu_);
+
+#if defined(__clang__) && defined(__has_attribute)
+#define SSR_THREAD_ATTR(x) __attribute__((x))
+#else
+#define SSR_THREAD_ATTR(x)
+#endif
+
+#define SSR_CAPABILITY(x) SSR_THREAD_ATTR(capability(x))
+#define SSR_SCOPED_CAPABILITY SSR_THREAD_ATTR(scoped_lockable)
+#define SSR_GUARDED_BY(x) SSR_THREAD_ATTR(guarded_by(x))
+#define SSR_PT_GUARDED_BY(x) SSR_THREAD_ATTR(pt_guarded_by(x))
+#define SSR_REQUIRES(...) \
+  SSR_THREAD_ATTR(requires_capability(__VA_ARGS__))
+#define SSR_EXCLUDES(...) \
+  SSR_THREAD_ATTR(locks_excluded(__VA_ARGS__))
+#define SSR_ACQUIRE(...) \
+  SSR_THREAD_ATTR(acquire_capability(__VA_ARGS__))
+#define SSR_RELEASE(...) \
+  SSR_THREAD_ATTR(release_capability(__VA_ARGS__))
+#define SSR_TRY_ACQUIRE(...) \
+  SSR_THREAD_ATTR(try_acquire_capability(__VA_ARGS__))
+#define SSR_NO_THREAD_SAFETY_ANALYSIS \
+  SSR_THREAD_ATTR(no_thread_safety_analysis)

@@ -12,6 +12,9 @@
 #include <chrono>
 #include <thread>
 
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
 namespace ssr::scenario::ctl {
 namespace {
 
@@ -65,9 +68,14 @@ TEST(ControlEndpoints, RequestReplyOverLoopback) {
   ControlClient client;
   ASSERT_NE(server.port(), 0);
 
-  std::atomic<int> applications{0};
+  // The application counter is written by the server thread and read by the
+  // test thread after join; the annotated mutex makes clang's thread-safety
+  // analysis prove the discipline TSan checks at runtime.
+  util::Mutex mu;
+  int applications SSR_GUARDED_BY(mu) = 0;
   const auto handler = [&](const Request& req) -> std::string {
     if (req.cmd == "PING") {
+      util::MutexLock lock(mu);
       return "OK pong=" + std::to_string(++applications);
     }
     return "ERR unknown command";
@@ -95,7 +103,8 @@ TEST(ControlEndpoints, RequestReplyOverLoopback) {
   EXPECT_EQ(*r2, "OK pong=2");
   ASSERT_TRUE(r3.has_value());
   EXPECT_EQ(*r3, "ERR unknown command");
-  EXPECT_EQ(applications.load(), 2);
+  util::MutexLock lock(mu);
+  EXPECT_EQ(applications, 2);
 }
 
 TEST(ControlEndpoints, DuplicateReqidReplaysCachedReply) {

@@ -1,0 +1,302 @@
+#!/usr/bin/env python3
+"""clang-tidy ratchet: fail only on findings that are NOT in the baseline.
+
+The repo carries a checked-in baseline (tools/clang_tidy_baseline.txt) that
+pins the currently-known clang-tidy findings. CI re-runs clang-tidy and
+compares fingerprints:
+
+  * a finding whose fingerprint is in the baseline → tolerated (pinned debt)
+  * a finding not in the baseline → NEW, the build fails
+  * a baseline entry that no longer fires → reported as ratchet progress
+    (re-pin with --update-baseline to lock the improvement in)
+
+Fingerprints are line-number independent: sha1(file | check | stripped
+source line text). Inserting code above a pinned finding does not un-pin
+it; editing the offending line (or fixing it) does.
+
+Two entry points:
+
+  lint_ratchet.py run --build-dir build [--update-baseline]
+      Runs clang-tidy (needs a compile_commands.json in --build-dir) over
+      the repo sources and compares against the baseline. Findings are
+      written to --findings-out for artifact upload.
+
+  lint_ratchet.py check --findings FILE [--update-baseline]
+      Compares a pre-recorded clang-tidy output file against the baseline —
+      no clang-tidy needed. This is what the fixture tests drive.
+
+Exit status: 0 ok, 1 new findings (or clang-tidy itself failed), 2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+FINDING_RE = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?P<sev>warning|error):\s+(?P<msg>.*?)\s+\[(?P<check>[\w.,\-]+)\]\s*$")
+
+BASELINE_HEADER = "# ssr clang-tidy ratchet baseline v1"
+
+
+class Finding:
+    def __init__(self, path, line, message, check):
+        self.path = path
+        self.line = line
+        self.message = message
+        self.check = check
+
+    def location(self):
+        return f"{self.path}:{self.line}"
+
+
+def normalize_path(path, root):
+    p = os.path.abspath(path) if os.path.isabs(path) else \
+        os.path.abspath(os.path.join(root, path))
+    try:
+        rel = os.path.relpath(p, root)
+    except ValueError:
+        return path.replace(os.sep, "/")
+    return rel.replace(os.sep, "/")
+
+
+def parse_findings(text, root):
+    """Parses clang-tidy textual output into Finding objects (deduplicated:
+    clang-tidy repeats header findings once per including TU)."""
+    findings, seen = [], set()
+    for line in text.splitlines():
+        m = FINDING_RE.match(line)
+        if not m:
+            continue
+        path = normalize_path(m.group("file"), root)
+        key = (path, m.group("line"), m.group("msg"), m.group("check"))
+        if key in seen:
+            continue
+        seen.add(key)
+        findings.append(Finding(path, int(m.group("line")),
+                                m.group("msg"), m.group("check")))
+    return findings
+
+
+def source_line_text(root, finding, cache):
+    path = os.path.join(root, finding.path)
+    if path not in cache:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                cache[path] = f.read().splitlines()
+        except OSError:
+            cache[path] = None
+    lines = cache[path]
+    if lines is None or not (1 <= finding.line <= len(lines)):
+        # Unreadable file or stale line: fall back to the message, which is
+        # stable enough for a missing-source situation.
+        return finding.message
+    return lines[finding.line - 1].strip()
+
+
+def fingerprint(root, finding, cache):
+    text = source_line_text(root, finding, cache)
+    h = hashlib.sha1(
+        f"{finding.path}|{finding.check}|{text}".encode()).hexdigest()
+    return h[:16]
+
+
+def count_fingerprints(root, findings):
+    """fingerprint -> (count, sample Finding)."""
+    cache = {}
+    out = {}
+    for f in findings:
+        fp = fingerprint(root, f, cache)
+        count, sample = out.get(fp, (0, f))
+        out[fp] = (count + 1, sample)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Baseline file I/O
+# ---------------------------------------------------------------------------
+
+def load_baseline(path):
+    """fingerprint -> (count, description). Missing file = empty baseline."""
+    out = {}
+    if not os.path.exists(path):
+        return out
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(None, 2)
+            if len(parts) < 2:
+                continue
+            fp, count = parts[0], parts[1]
+            desc = parts[2] if len(parts) > 2 else ""
+            try:
+                out[fp] = (int(count), desc)
+            except ValueError:
+                continue
+    return out
+
+
+def write_baseline(path, counted):
+    lines = [BASELINE_HEADER,
+             "# <fingerprint> <count> <check> <location> <message>",
+             "# Regenerate: python3 tools/lint_ratchet.py run "
+             "--build-dir <dir> --update-baseline"]
+    for fp in sorted(counted):
+        count, f = counted[fp]
+        lines.append(f"{fp} {count} {f.check} {f.location()} {f.message}")
+    with open(path, "w", encoding="utf-8") as out:
+        out.write("\n".join(lines) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+
+def compare(root, findings, baseline):
+    """Returns (new_findings, fixed_fingerprints)."""
+    counted = count_fingerprints(root, findings)
+    new = []
+    for fp, (count, sample) in sorted(counted.items()):
+        pinned = baseline.get(fp, (0, ""))[0]
+        if count > pinned:
+            new.append((fp, count - pinned, sample))
+    fixed = []
+    for fp, (pinned, desc) in sorted(baseline.items()):
+        have = counted.get(fp, (0, None))[0]
+        if have < pinned:
+            fixed.append((fp, pinned - have, desc))
+    return new, fixed
+
+
+def report(new, fixed):
+    for fp, n, desc in fixed:
+        print(f"ratchet: baseline entry no longer fires ({n}x): {fp} {desc}")
+    if fixed:
+        print("ratchet: progress! re-pin with --update-baseline to lock "
+              "the improvement in")
+    if new:
+        print(f"ratchet: {sum(n for _, n, _ in new)} NEW clang-tidy "
+              f"finding(s) not in the baseline:", file=sys.stderr)
+        for fp, n, f in new:
+            print(f"  {f.location()}: {f.message} [{f.check}] "
+                  f"(fingerprint {fp}, {n} new)", file=sys.stderr)
+        print("ratchet: fix them, or pin deliberately with "
+              "--update-baseline", file=sys.stderr)
+
+
+# ---------------------------------------------------------------------------
+# clang-tidy invocation
+# ---------------------------------------------------------------------------
+
+def repo_sources(root):
+    out = []
+    for sub in ("src", "tools/scenario_runner", "tools/ssr_node"):
+        base = os.path.join(root, sub)
+        for dirpath, _, filenames in os.walk(base):
+            for fn in sorted(filenames):
+                if fn.endswith(".cpp"):
+                    out.append(os.path.join(dirpath, fn))
+    return sorted(out)
+
+
+def run_clang_tidy(root, build_dir, binary, jobs):
+    if shutil.which(binary) is None:
+        return None, f"{binary} not found on PATH"
+    ccdb = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(ccdb):
+        return None, (f"{ccdb} missing — configure with "
+                      f"-DCMAKE_EXPORT_COMPILE_COMMANDS=ON")
+    sources = repo_sources(root)
+    chunks = []
+    # One process per source keeps memory bounded; -j parallelism via a
+    # simple pool of Popen objects.
+    procs, pending = [], list(sources)
+    while pending or procs:
+        while pending and len(procs) < jobs:
+            src = pending.pop(0)
+            procs.append((src, subprocess.Popen(
+                [binary, "-p", build_dir, "--quiet", src],
+                stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+                text=True)))
+        src, proc = procs.pop(0)
+        stdout, _ = proc.communicate()
+        chunks.append(stdout)
+    return "\n".join(chunks), None
+
+
+# ---------------------------------------------------------------------------
+# main
+# ---------------------------------------------------------------------------
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("mode", choices=["run", "check"])
+    ap.add_argument("--root", default=None, help="repo root")
+    ap.add_argument("--baseline", default=None,
+                    help="baseline file (default tools/clang_tidy_baseline.txt)")
+    ap.add_argument("--build-dir", default="build",
+                    help="[run] build dir with compile_commands.json")
+    ap.add_argument("--clang-tidy", default="clang-tidy",
+                    help="[run] clang-tidy binary")
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    ap.add_argument("--findings", default=None,
+                    help="[check] pre-recorded clang-tidy output file")
+    ap.add_argument("--findings-out", default=None,
+                    help="[run] where to save raw findings (artifact)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="re-pin the baseline to the current findings")
+    args = ap.parse_args(argv)
+
+    script_dir = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.abspath(args.root or os.path.join(script_dir, ".."))
+    baseline_path = args.baseline or os.path.join(
+        script_dir, "clang_tidy_baseline.txt")
+
+    if args.mode == "run":
+        text, err = run_clang_tidy(root, args.build_dir, args.clang_tidy,
+                                   args.jobs)
+        if text is None:
+            print(f"lint_ratchet: cannot run clang-tidy: {err}",
+                  file=sys.stderr)
+            return 1
+        if args.findings_out:
+            with open(args.findings_out, "w", encoding="utf-8") as f:
+                f.write(text)
+    else:
+        if not args.findings:
+            print("lint_ratchet: check mode needs --findings FILE",
+                  file=sys.stderr)
+            return 2
+        try:
+            with open(args.findings, encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"lint_ratchet: {e}", file=sys.stderr)
+            return 2
+
+    findings = parse_findings(text, root)
+    if args.update_baseline:
+        write_baseline(baseline_path, count_fingerprints(root, findings))
+        print(f"lint_ratchet: pinned {len(findings)} finding(s) to "
+              f"{baseline_path}")
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    new, fixed = compare(root, findings, baseline)
+    report(new, fixed)
+    if not new:
+        print(f"lint_ratchet: OK — {len(findings)} finding(s), all pinned "
+              f"({len(baseline)} baseline entries)")
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+// Fixture: a top-level decoder that constructs a wire::Reader but never
+// consults ok() — a corrupted buffer flows straight into the result.
+#include <cstdint>
+
+namespace wire {
+using Bytes = int;
+struct Reader {
+  explicit Reader(const Bytes&) {}
+  std::uint32_t u32() { return 0; }
+  bool ok() const { return true; }
+};
+}  // namespace wire
+
+namespace fixture {
+
+struct Msg {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+Msg decode_unchecked(const wire::Bytes& raw) {
+  wire::Reader r(raw);  // violation: result escapes without an ok() check
+  Msg m;
+  m.a = r.u32();
+  m.b = r.u32();
+  return m;
+}
+
+}  // namespace fixture

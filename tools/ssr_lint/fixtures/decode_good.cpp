@@ -1,0 +1,36 @@
+// Fixture: the clean twin of decode_bad.cpp — same decode, but the
+// function checks ok() before the result escapes. Sub-decoders that take
+// wire::Reader& are exempt by contract (the top-level decode checks once).
+#include <cstdint>
+
+namespace wire {
+using Bytes = int;
+struct Reader {
+  explicit Reader(const Bytes&) {}
+  std::uint32_t u32() { return 0; }
+  bool ok() const { return true; }
+};
+}  // namespace wire
+
+namespace fixture {
+
+struct Msg {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  bool valid = false;
+};
+
+std::uint32_t decode_field(wire::Reader& r) {  // sub-decoder: exempt
+  return r.u32();
+}
+
+Msg decode_checked(const wire::Bytes& raw) {
+  wire::Reader r(raw);
+  Msg m;
+  m.a = decode_field(r);
+  m.b = decode_field(r);
+  m.valid = r.ok();
+  return m;
+}
+
+}  // namespace fixture

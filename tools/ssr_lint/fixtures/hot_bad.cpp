@@ -1,0 +1,27 @@
+// Fixture: every hot-path-alloc violation class, one per line group.
+// The twin hot_good.cpp performs the same work without tripping the rule.
+#include <cstdlib>
+#include <functional>
+#include <vector>
+
+namespace fixture {
+
+struct Event {
+  int when = 0;
+};
+
+int* leak_an_int() {
+  return new int(7);  // violation: operator new
+}
+
+void* c_alloc(std::size_t n) {
+  return std::malloc(n);  // violation: malloc
+}
+
+std::function<void()> g_callback;  // violation: std::function
+
+void grow(std::vector<Event>& events, Event e) {
+  events.push_back(e);  // violation: growing-container call
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Fixture: the clean twin of hot_bad.cpp. Pre-sized storage, function
+// pointers instead of std::function, and one annotated (justified)
+// amortized growth. Mentions of new/malloc in comments and strings must
+// not fire either: "new std::function malloc push_back".
+#include <cstdlib>
+#include <vector>
+
+namespace fixture {
+
+struct Event {
+  int when = 0;
+};
+
+using Callback = void (*)();  // plain function pointer: no type erasure
+Callback g_callback = nullptr;
+
+void fill(std::vector<Event>& events, Event e, std::size_t n) {
+  // Writes into pre-sized storage; the one growth is justified inline.
+  // ssr-lint: allow(hot-path-alloc): warm-up growth, capacity sticks.
+  events.resize(n);
+  for (std::size_t i = 0; i < n; ++i) events[i] = e;
+}
+
+const char* describe() { return "calls new and malloc all day"; }
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Fixture: a version-memoized view whose underlying state is mutated
+// without bumping the version — the cached answer silently goes stale.
+#include <cstdint>
+#include <map>
+
+namespace fixture {
+
+class Memoized {
+ public:
+  void set_entry(int id, int value) {
+    records_[id] = value;  // violation: no state_version_ bump
+  }
+
+  void clear_trusted() {
+    fd_self_.clear();  // violation: no state_version_ bump
+  }
+
+  bool view() const {
+    if (view_version_ == state_version_) return view_value_;
+    view_value_ = records_.empty();
+    view_version_ = state_version_;
+    return view_value_;
+  }
+
+ private:
+  std::map<int, int> records_;
+  std::map<int, int> fd_self_;
+  std::uint64_t state_version_ = 0;
+  mutable std::uint64_t view_version_ = ~0ULL;
+  mutable bool view_value_ = false;
+};
+
+}  // namespace fixture

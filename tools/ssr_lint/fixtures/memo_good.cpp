@@ -1,0 +1,40 @@
+// Fixture: the clean twin of memo_bad.cpp — every mutation path bumps the
+// version (directly or through the record() accessor), so the memoized
+// view can never serve a stale answer.
+#include <cstdint>
+#include <map>
+
+namespace fixture {
+
+class Memoized {
+ public:
+  void set_entry(int id, int value) {
+    record(id) = value;  // routed through the bumping accessor
+  }
+
+  void clear_trusted() {
+    ++state_version_;
+    fd_self_.clear();
+  }
+
+  bool view() const {
+    if (view_version_ == state_version_) return view_value_;
+    view_value_ = records_.empty();
+    view_version_ = state_version_;
+    return view_value_;
+  }
+
+ private:
+  int& record(int id) {
+    ++state_version_;
+    return records_[id];
+  }
+
+  std::map<int, int> records_;
+  std::map<int, int> fd_self_;
+  std::uint64_t state_version_ = 0;
+  mutable std::uint64_t view_version_ = ~0ULL;
+  mutable bool view_value_ = false;
+};
+
+}  // namespace fixture

