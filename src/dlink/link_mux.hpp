@@ -68,6 +68,13 @@ class LinkMux {
   void subscribe(Port port, DeliverFn fn);
   void set_heartbeat_handler(HeartbeatFn fn) { heartbeat_ = std::move(fn); }
 
+  /// Tick-boundary flush: pushes every frame the links staged during one
+  /// protocol tick out to the fabric in a single batch (no-op on
+  /// non-batching transports). The node stack calls this once per tick,
+  /// after all layers have published — never per link, which would degrade
+  /// a batching transport back to one syscall per peer.
+  void flush_transport() { transport_.flush(); }
+
   /// Entry point wired to the Transport.
   void handle_packet(const net::Packet& pkt);
 

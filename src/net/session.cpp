@@ -1,0 +1,89 @@
+#include "net/session.hpp"
+
+#include <cstring>
+
+namespace ssr::net {
+
+wire::Bytes Session::encode_envelope(std::uint32_t shard, NodeId src,
+                                     NodeId dst, const wire::Bytes& payload) {
+  wire::Writer w;
+  w.reserve(4 + 1 + 4 + 4 + 4 + 4 + payload.size());
+  w.u32(kMagic);
+  w.u8(kVersion);
+  w.u32(shard);
+  w.node_id(src);
+  w.node_id(dst);
+  w.bytes(payload);
+  return w.take();
+}
+
+std::optional<Packet> Session::decode_envelope(const std::uint8_t* data,
+                                               std::size_t len,
+                                               std::uint32_t* shard_out) {
+  // Parsed by hand over the receive buffer: going through wire::Reader
+  // would copy the whole datagram once for the Reader and once more for
+  // the payload slice — on the hot receive path the payload copy is the
+  // only one allowed.
+  constexpr std::size_t kHeader = 4 + 1 + 4 + 4 + 4 + 4;
+  const auto rd_u32 = [data](std::size_t off) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data[off + i]) << (8 * i);
+    }
+    return v;
+  };
+  if (len < kHeader) return std::nullopt;
+  if (rd_u32(0) != kMagic) return std::nullopt;
+  if (data[4] != kVersion) return std::nullopt;
+  Packet pkt;
+  if (shard_out != nullptr) *shard_out = rd_u32(5);
+  pkt.src = rd_u32(9);
+  pkt.dst = rd_u32(13);
+  // Strict framing: the length prefix must name exactly the bytes present
+  // (truncated or padded datagrams are corruption, not messages).
+  if (rd_u32(17) != len - kHeader) return std::nullopt;
+  pkt.payload = wire::BufferPool::local().acquire();
+  // ssr-lint: allow(hot-path-alloc): pooled buffer keeps capacity on reuse.
+  pkt.payload.assign(data + kHeader, data + len);
+  return pkt;
+}
+
+Session::Verdict Session::admit(const std::uint8_t* data, std::size_t len,
+                                const std::uint8_t* from,
+                                std::size_t from_len, Packet* out) {
+  std::uint32_t shard = 0;
+  auto pkt = decode_envelope(data, len, &shard);
+  if (!pkt) return Verdict::kMalformed;
+  if (shard != cfg_.shard) {
+    // A foreign shard's datagram: well-formed, but it must never feed this
+    // fleet's quorums (and its source must not be learned).
+    wire::BufferPool::local().release(std::move(pkt->payload));
+    return Verdict::kWrongShard;
+  }
+  if (cfg_.learn_peers && pkt->src != cfg_.self && from != nullptr &&
+      from_len > 0) {
+    // A well-formed envelope vouches for its source id; remember where it
+    // actually came from so replies route even when the address book only
+    // had a port-0 placeholder (or a stale port from before a respawn).
+    Address& known = addrs_[pkt->src];
+    if (known.size() != from_len ||
+        std::memcmp(known.data(), from, from_len) != 0) {
+      // ssr-lint: allow(hot-path-alloc): route rebind — rare respawn.
+      known.assign(from, from + from_len);
+      ++stats_.learned;
+    }
+  }
+  *out = std::move(*pkt);
+  return Verdict::kAccept;
+}
+
+void Session::set_route(NodeId id, Address addr) {
+  addrs_[id] = std::move(addr);
+}
+
+const Session::Address* Session::route(NodeId id) const {
+  auto it = addrs_.find(id);
+  return it == addrs_.end() ? nullptr : &it->second;
+}
+
+}  // namespace ssr::net

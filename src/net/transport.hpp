@@ -72,6 +72,14 @@ class Transport {
   /// received infinitely often).
   virtual void send(NodeId src, NodeId dst, wire::Bytes payload) = 0;
 
+  /// Pushes any sends the transport has staged out to the fabric. Batching
+  /// transports (UdpTransport's sendmmsg ring) override this; the node
+  /// stack calls it at tick boundaries, after the burst of sends a protocol
+  /// tick fans out. The default is a no-op so SimTransport — where every
+  /// send is already an immediate scheduler event — is untouched, and the
+  /// pinned replay hashes with it.
+  virtual void flush() {}
+
   // -- Clock service ---------------------------------------------------------
   // Virtual microseconds under the simulator, wall-clock microseconds since
   // transport start over real sockets. Algorithms use this only to pace

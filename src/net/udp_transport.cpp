@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <utility>
@@ -19,68 +20,59 @@
 namespace ssr::net {
 namespace {
 
-std::vector<std::uint8_t> resolve(const UdpEndpoint& ep) {
+Session::Address resolve(const UdpEndpoint& ep) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(ep.port);
   SSR_ASSERT(::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) == 1,
              "UdpEndpoint.host must be a numeric IPv4 address");
-  std::vector<std::uint8_t> raw(sizeof(addr));
+  Session::Address raw(sizeof(addr));
   std::memcpy(raw.data(), &addr, sizeof(addr));
   return raw;
 }
 
+int real_sendmmsg(int fd, mmsghdr* msgs, unsigned n, int flags) {
+  return static_cast<int>(::sendmmsg(fd, msgs, n, flags));
+}
+
+int real_recvmmsg(int fd, mmsghdr* msgs, unsigned n, int flags,
+                  timespec* timeout) {
+  return static_cast<int>(::recvmmsg(fd, msgs, n, flags, timeout));
+}
+
 }  // namespace
 
-wire::Bytes UdpTransport::encode_envelope(std::uint32_t shard, NodeId src,
-                                          NodeId dst,
-                                          const wire::Bytes& payload) {
-  wire::Writer w;
-  w.reserve(4 + 1 + 4 + 4 + 4 + 4 + payload.size());
-  w.u32(kMagic);
-  w.u8(kVersion);
-  w.u32(shard);
-  w.node_id(src);
-  w.node_id(dst);
-  w.bytes(payload);
-  return w.take();
-}
-
-std::optional<Packet> UdpTransport::decode_envelope(const std::uint8_t* data,
-                                                    std::size_t len,
-                                                    std::uint32_t* shard_out) {
-  // Parsed by hand over the receive buffer: going through wire::Reader
-  // would copy the whole datagram once for the Reader and once more for
-  // the payload slice — on the hot receive path the payload copy is the
-  // only one allowed.
-  constexpr std::size_t kHeader = 4 + 1 + 4 + 4 + 4 + 4;
-  const auto rd_u32 = [data](std::size_t off) {
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<std::uint32_t>(data[off + i]) << (8 * i);
-    }
-    return v;
-  };
-  if (len < kHeader) return std::nullopt;
-  if (rd_u32(0) != kMagic) return std::nullopt;
-  if (data[4] != kVersion) return std::nullopt;
-  Packet pkt;
-  if (shard_out != nullptr) *shard_out = rd_u32(5);
-  pkt.src = rd_u32(9);
-  pkt.dst = rd_u32(13);
-  // Strict framing: the length prefix must name exactly the bytes present
-  // (truncated or padded datagrams are corruption, not messages).
-  if (rd_u32(17) != len - kHeader) return std::nullopt;
-  pkt.payload = wire::BufferPool::local().acquire();
-  pkt.payload.assign(data + kHeader, data + len);
-  return pkt;
-}
-
-UdpTransport::UdpTransport(UdpTransportConfig cfg) : cfg_(std::move(cfg)) {
+UdpTransport::UdpTransport(UdpTransportConfig cfg)
+    : cfg_(std::move(cfg)),
+      session_(SessionConfig{cfg_.self, cfg_.shard, cfg_.learn_peers}),
+      sendmmsg_fn_(&real_sendmmsg),
+      recvmmsg_fn_(&real_recvmmsg) {
   SSR_ASSERT(cfg_.peers.count(cfg_.self) != 0,
              "UdpTransportConfig.peers must contain the self endpoint");
+  cfg_.batch = std::clamp<std::size_t>(cfg_.batch, 1, kMaxBatch);
   epoch_usec_ = steady_usec();
-  rx_buf_.resize(cfg_.max_datagram);
+
+  // One-time ring setup; nothing on the datapath grows these again.
+  // ssr-lint: allow(hot-path-alloc): send/recv ring setup, once per transport.
+  tx_bufs_.resize(cfg_.batch);
+  // ssr-lint: allow(hot-path-alloc): send/recv ring setup, once per transport.
+  tx_addrs_.resize(cfg_.batch);
+  // ssr-lint: allow(hot-path-alloc): send/recv ring setup, once per transport.
+  tx_iov_.resize(cfg_.batch);
+  // ssr-lint: allow(hot-path-alloc): send/recv ring setup, once per transport.
+  tx_msgs_.resize(cfg_.batch);
+  // ssr-lint: allow(hot-path-alloc): send/recv ring setup, once per transport.
+  rx_block_.resize(cfg_.batch * cfg_.max_datagram);
+  // ssr-lint: allow(hot-path-alloc): send/recv ring setup, once per transport.
+  rx_from_.resize(cfg_.batch);
+  // ssr-lint: allow(hot-path-alloc): send/recv ring setup, once per transport.
+  rx_iov_.resize(cfg_.batch);
+  // ssr-lint: allow(hot-path-alloc): send/recv ring setup, once per transport.
+  rx_msgs_.resize(cfg_.batch);
+  for (std::size_t i = 0; i < cfg_.batch; ++i) {
+    rx_iov_[i].iov_base = rx_block_.data() + i * cfg_.max_datagram;
+    rx_iov_[i].iov_len = cfg_.max_datagram;
+  }
 
   fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
   SSR_ASSERT(fd_ >= 0, "socket(AF_INET, SOCK_DGRAM) failed");
@@ -99,20 +91,26 @@ UdpTransport::UdpTransport(UdpTransportConfig cfg) : cfg_(std::move(cfg)) {
   local_port_ = ntohs(bound.sin_port);
 
   for (const auto& [id, ep] : cfg_.peers) {
-    if (ep.port != 0) addrs_[id] = resolve(ep);
+    if (ep.port != 0) session_.set_route(id, resolve(ep));
   }
   // Self always resolves to the actually bound port (covers port 0).
   UdpEndpoint self_ep = cfg_.peers.at(cfg_.self);
   self_ep.port = local_port_;
-  addrs_[cfg_.self] = resolve(self_ep);
+  session_.set_route(cfg_.self, resolve(self_ep));
 }
 
 UdpTransport::~UdpTransport() {
+  flush();
   if (fd_ >= 0) ::close(fd_);
 }
 
 void UdpTransport::set_peer(NodeId id, const UdpEndpoint& ep) {
-  addrs_[id] = resolve(ep);
+  session_.set_route(id, resolve(ep));
+}
+
+void UdpTransport::set_syscall_hooks(SendmmsgFn send_fn, RecvmmsgFn recv_fn) {
+  sendmmsg_fn_ = send_fn != nullptr ? send_fn : &real_sendmmsg;
+  recvmmsg_fn_ = recv_fn != nullptr ? recv_fn : &real_recvmmsg;
 }
 
 void UdpTransport::attach(NodeId id, Handler handler) {
@@ -127,27 +125,74 @@ void UdpTransport::send(NodeId src, NodeId dst, wire::Bytes payload) {
     wire::BufferPool::local().release(std::move(payload));
     return;
   }
-  auto it = addrs_.find(dst);
-  if (it == addrs_.end()) {
+  const Session::Address* route = session_.route(dst);
+  if (route == nullptr) {
     // No route — indistinguishable from a crashed destination; the
     // retransmitting link layer handles it like any other loss.
-    ++stats_.send_failures;
+    ++stats_.no_route;
     wire::BufferPool::local().release(std::move(payload));
     return;
   }
-  wire::Bytes datagram = encode_envelope(cfg_.shard, src, dst, payload);
-  const ssize_t n = ::sendto(
-      fd_, datagram.data(), datagram.size(), 0,
-      reinterpret_cast<const sockaddr*>(it->second.data()),
-      static_cast<socklen_t>(it->second.size()));
-  if (n == static_cast<ssize_t>(datagram.size())) {
-    ++stats_.sent;
-  } else {
-    ++stats_.send_failures;  // EAGAIN/ENOBUFS — UDP is lossy anyway
-  }
-  // Both buffers die here: recycle them for the next send.
-  wire::BufferPool::local().release(std::move(datagram));
+  SSR_ASSERT(route->size() == sizeof(sockaddr_in),
+             "UDP routes must be resolved sockaddr_in blobs");
+  // Stage into the ring: the address is copied now (the route may be
+  // rebound before the flush), the sealed datagram buffer is owned by the
+  // ring until the flush releases it.
+  std::memcpy(&tx_addrs_[tx_count_], route->data(), sizeof(sockaddr_in));
+  tx_bufs_[tx_count_] = session_.seal(src, dst, payload);
+  ++tx_count_;
   wire::BufferPool::local().release(std::move(payload));
+  if (tx_count_ == tx_bufs_.size()) flush();
+}
+
+void UdpTransport::flush() {
+  if (tx_count_ == 0) return;
+  for (std::size_t i = 0; i < tx_count_; ++i) {
+    tx_iov_[i].iov_base = tx_bufs_[i].data();
+    tx_iov_[i].iov_len = tx_bufs_[i].size();
+    mmsghdr& m = tx_msgs_[i];
+    std::memset(&m, 0, sizeof(m));
+    m.msg_hdr.msg_name = &tx_addrs_[i];
+    m.msg_hdr.msg_namelen = sizeof(sockaddr_in);
+    m.msg_hdr.msg_iov = &tx_iov_[i];
+    m.msg_hdr.msg_iovlen = 1;
+  }
+  std::size_t off = 0;
+  while (off < tx_count_) {
+    const int r = sendmmsg_fn_(fd_, tx_msgs_.data() + off,
+                               static_cast<unsigned>(tx_count_ - off), 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) {
+        // Kernel backpressure: UDP is lossy anyway — charge the rest as
+        // losses rather than spin on a full socket buffer.
+        stats_.send_failures += tx_count_ - off;
+        break;
+      }
+      // Per-datagram error (bad address, EMSGSIZE, ...): charge the head
+      // message and keep flushing the rest of the ring.
+      ++stats_.send_failures;
+      ++off;
+      continue;
+    }
+    ++stats_.send_syscalls;
+    if (r >= 2) stats_.batched_sends += static_cast<std::uint64_t>(r);
+    for (int i = 0; i < r; ++i) {
+      if (tx_msgs_[off + i].msg_len ==
+          static_cast<unsigned>(tx_iov_[off + i].iov_len)) {
+        ++stats_.sent;
+      } else {
+        ++stats_.send_partial;  // kernel truncated the datagram — lost
+      }
+    }
+    // r < remaining is a partial completion: resume at the first unsent
+    // message (the next call typically reports why it stopped).
+    off += static_cast<std::size_t>(r);
+  }
+  for (std::size_t i = 0; i < tx_count_; ++i) {
+    wire::BufferPool::local().release(std::move(tx_bufs_[i]));
+  }
+  tx_count_ = 0;
 }
 
 SimTime UdpTransport::now() const { return steady_usec() - epoch_usec_; }
@@ -170,6 +215,7 @@ std::uint32_t UdpTransport::alloc_timer_slot() {
     timer_free_head_ = timer_slots_[slot].next_free;
     return slot;
   }
+  // ssr-lint: allow(hot-path-alloc): slab growth — amortized, slots recycle.
   timer_slots_.emplace_back();
   return static_cast<std::uint32_t>(timer_slots_.size() - 1);
 }
@@ -201,6 +247,9 @@ SimTime UdpTransport::wait_budget(SimTime fallback) {
 }
 
 bool UdpTransport::poll_once(SimTime max_wait) {
+  // Pre-sleep flush: a staged send must never wait out a poll sleep —
+  // batching trades syscalls, not latency.
+  flush();
   const SimTime wait = wait_budget(max_wait);
   pollfd pfd{fd_, POLLIN, 0};
   const int timeout_ms = static_cast<int>((wait + 999) / 1000);
@@ -208,6 +257,9 @@ bool UdpTransport::poll_once(SimTime max_wait) {
   bool activity = false;
   if (rc > 0 && (pfd.revents & POLLIN) != 0) activity |= drain_socket();
   activity |= fire_due_timers();
+  // Round boundary: everything the handlers and timers just staged (acks
+  // for the drained batch, a tick's full fan-out) leaves in one sendmmsg.
+  flush();
   return activity;
 }
 
@@ -218,58 +270,68 @@ void UdpTransport::run_for(SimTime duration) {
 
 bool UdpTransport::drain_socket() {
   bool any = false;
+  const unsigned n = static_cast<unsigned>(rx_msgs_.size());
   for (;;) {
-    sockaddr_in from{};
-    socklen_t from_len = sizeof(from);
-    const ssize_t n =
-        ::recvfrom(fd_, rx_buf_.data(), rx_buf_.size(), 0,
-                   reinterpret_cast<sockaddr*>(&from), &from_len);
-    if (n < 0) break;  // EAGAIN — drained (other errors: drop and retry next poll)
+    for (unsigned i = 0; i < n; ++i) {
+      mmsghdr& m = rx_msgs_[i];
+      std::memset(&m, 0, sizeof(m));
+      m.msg_hdr.msg_name = &rx_from_[i];
+      m.msg_hdr.msg_namelen = sizeof(sockaddr_in);  // value-result field
+      m.msg_hdr.msg_iov = &rx_iov_[i];
+      m.msg_hdr.msg_iovlen = 1;
+    }
+    const int r = recvmmsg_fn_(fd_, rx_msgs_.data(), n, 0, nullptr);
+    if (r < 0) {
+      if (errno == EINTR) continue;  // a stray signal must not end the drain
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;  // drained
+      ++stats_.recv_errors;  // real error: count it, yield to the next poll
+      break;
+    }
+    if (r == 0) break;
+    ++stats_.recv_syscalls;
     any = true;
-    std::uint32_t shard = 0;
-    auto pkt =
-        decode_envelope(rx_buf_.data(), static_cast<std::size_t>(n), &shard);
-    if (!pkt) {
-      ++stats_.dropped_malformed;
-      continue;
+    for (int i = 0; i < r; ++i) {
+      process_datagram(static_cast<const std::uint8_t*>(rx_iov_[i].iov_base),
+                       rx_msgs_[i].msg_len, rx_from_[i],
+                       rx_msgs_[i].msg_hdr.msg_namelen);
     }
-    if (shard != cfg_.shard) {
-      // A foreign shard's datagram: well-formed, but it must never feed
-      // this fleet's quorums (and its source must not be learned — the
-      // same node id legitimately exists in every shard).
-      ++stats_.dropped_wrong_shard;
-      wire::BufferPool::local().release(std::move(pkt->payload));
-      continue;
-    }
-    if (cfg_.learn_peers && pkt->src != cfg_.self &&
-        from_len == sizeof(from)) {
-      // A well-formed envelope vouches for its source id; remember where it
-      // actually came from so replies route even when the address book only
-      // had a port-0 placeholder (or a stale port from before a respawn).
-      std::vector<std::uint8_t>& known = addrs_[pkt->src];
-      if (known.size() != sizeof(from) ||
-          std::memcmp(known.data(), &from, sizeof(from)) != 0) {
-        known.assign(reinterpret_cast<const std::uint8_t*>(&from),
-                     reinterpret_cast<const std::uint8_t*>(&from) +
-                         sizeof(from));
-      }
-    }
-    if (blocked_.contains(pkt->src)) {
-      ++stats_.filtered_in;
-      wire::BufferPool::local().release(std::move(pkt->payload));
-      continue;
-    }
-    auto h = handlers_.find(pkt->dst);
-    if (h == handlers_.end()) {
-      ++stats_.dropped_unattached;
-      wire::BufferPool::local().release(std::move(pkt->payload));
-      continue;
-    }
-    ++stats_.received;
-    h->second(*pkt);
-    wire::BufferPool::local().release(std::move(pkt->payload));
+    if (static_cast<unsigned>(r) < n) break;  // short fill: queue is dry
   }
   return any;
+}
+
+void UdpTransport::process_datagram(const std::uint8_t* data, std::size_t len,
+                                    const sockaddr_in& from,
+                                    socklen_t from_len) {
+  const bool addr_ok = from_len == sizeof(sockaddr_in);
+  Packet pkt;
+  switch (session_.admit(
+      data, len,
+      addr_ok ? reinterpret_cast<const std::uint8_t*>(&from) : nullptr,
+      addr_ok ? sizeof(from) : 0, &pkt)) {
+    case Session::Verdict::kMalformed:
+      ++stats_.dropped_malformed;
+      return;
+    case Session::Verdict::kWrongShard:
+      ++stats_.dropped_wrong_shard;
+      return;
+    case Session::Verdict::kAccept:
+      break;
+  }
+  if (blocked_.contains(pkt.src)) {
+    ++stats_.filtered_in;
+    wire::BufferPool::local().release(std::move(pkt.payload));
+    return;
+  }
+  auto h = handlers_.find(pkt.dst);
+  if (h == handlers_.end()) {
+    ++stats_.dropped_unattached;
+    wire::BufferPool::local().release(std::move(pkt.payload));
+    return;
+  }
+  ++stats_.received;
+  h->second(pkt);
+  wire::BufferPool::local().release(std::move(pkt.payload));
 }
 
 bool UdpTransport::fire_due_timers() {

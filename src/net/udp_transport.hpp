@@ -1,5 +1,8 @@
 #pragma once
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -7,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "net/session.hpp"
 #include "net/transport.hpp"
 #include "util/id_set.hpp"
 
@@ -39,23 +43,35 @@ struct UdpTransportConfig {
   /// fleets sharing one host (or one misrouted address book entry) can
   /// never leak protocol traffic into each other's quorums.
   std::uint32_t shard = 0;
+  /// Syscall batching factor (clamped to [1, kMaxBatch]). Sends are staged
+  /// into a `batch`-deep mmsghdr ring flushed with one sendmmsg — on ring
+  /// full, on Transport::flush() at tick boundaries, and before any poll
+  /// sleep; receives drain up to `batch` datagrams per recvmmsg. 1 degrades
+  /// to one syscall per datagram (the A/B baseline for `--batch=1`).
+  std::size_t batch = 16;
 };
 
 /// Transport over non-blocking UDP sockets with a poll-based event loop and
 /// wall-clock timers — the same node stack that runs on the simulated
 /// fabric runs over this on localhost or a real network.
 ///
-/// Every datagram carries a small versioned envelope (magic, version, src,
-/// dst, payload) around the existing bounded wire format. Decoding is
-/// garbage-tolerant: a corrupted or truncated datagram is counted and
-/// dropped, never delivered and never fatal — exactly the channel fault
-/// model the protocol stack is built to survive.
+/// The datapath batches the syscall boundary: outgoing datagrams are staged
+/// into a fixed mmsghdr/iovec ring and flushed with a single sendmmsg (the
+/// token-link layer fans a frame to every peer each tick, so one protocol
+/// tick is one syscall, not one per peer); the receive side drains several
+/// datagrams per recvmmsg. Envelope framing, version/shard checks and
+/// peer-address learning live in the transport-agnostic net::Session — this
+/// class is pure syscall plumbing.
 ///
 /// Threading: single-threaded by design, like the simulator. The owner
 /// drives the loop with run_for()/poll_once(); handlers and timers fire on
 /// the driving thread.
 class UdpTransport final : public Transport {
  public:
+  /// Upper bound on the ring depth: past ~64 the per-flush win flattens
+  /// while the staged-buffer footprint keeps growing.
+  static constexpr std::size_t kMaxBatch = 64;
+
   explicit UdpTransport(UdpTransportConfig cfg);
   ~UdpTransport() override;
 
@@ -67,14 +83,17 @@ class UdpTransport final : public Transport {
   void detach(NodeId id) override { handlers_.erase(id); }
   bool attached(NodeId id) const override { return handlers_.count(id) != 0; }
   void send(NodeId src, NodeId dst, wire::Bytes payload) override;
+  /// Flushes the staged send ring with sendmmsg (tick-boundary hook).
+  void flush() override;
   /// Wall-clock microseconds since the transport was created.
   SimTime now() const override;
   TimerHandle schedule_after(SimTime delay, TimerFn fn) override;
 
   // -- Event loop ------------------------------------------------------------
-  /// One poll round: sleeps until a datagram arrives, the next timer is due
-  /// or `max_wait` elapses; then drains the socket and fires due timers.
-  /// Returns true when any packet or timer was processed.
+  /// One poll round: flushes staged sends, sleeps until a datagram arrives,
+  /// the next timer is due or `max_wait` elapses; then drains the socket,
+  /// fires due timers and flushes whatever those staged. Returns true when
+  /// any packet or timer was processed.
   bool poll_once(SimTime max_wait);
   /// Drives the loop for `duration` of wall time.
   void run_for(SimTime duration);
@@ -83,10 +102,11 @@ class UdpTransport final : public Transport {
   /// Adds or rebinds a peer address (late binding for port-0 test setups).
   void set_peer(NodeId id, const UdpEndpoint& ep);
   /// True when a route to `id` is known (configured, set_peer, or learned).
-  bool has_peer(NodeId id) const { return addrs_.count(id) != 0; }
+  bool has_peer(NodeId id) const { return session_.has_route(id); }
   /// The actually bound local port (resolves port 0 at construction).
   std::uint16_t local_port() const { return local_port_; }
   const UdpTransportConfig& config() const { return cfg_; }
+  const Session& session() const { return session_; }
 
   // -- Dynamic peer filter ---------------------------------------------------
   /// Blocks traffic with these peers in both directions: outgoing datagrams
@@ -98,9 +118,15 @@ class UdpTransport final : public Transport {
   const IdSet& blocked() const { return blocked_; }
 
   struct Stats {
-    std::uint64_t sent = 0;
-    std::uint64_t send_failures = 0;  // full socket buffer etc. — lossy-link
+    std::uint64_t sent = 0;           // datagrams the kernel accepted whole
+    std::uint64_t send_failures = 0;  // errno-level sendmmsg losses
+    std::uint64_t no_route = 0;       // sends with no address-book entry
+    std::uint64_t send_partial = 0;   // kernel accepted fewer bytes than staged
+    std::uint64_t send_syscalls = 0;  // successful sendmmsg invocations
+    std::uint64_t recv_syscalls = 0;  // successful recvmmsg invocations
+    std::uint64_t batched_sends = 0;  // datagrams that shared a sendmmsg (≥2)
     std::uint64_t received = 0;
+    std::uint64_t recv_errors = 0;        // real recvmmsg errors (not EAGAIN)
     std::uint64_t dropped_malformed = 0;  // bad magic/version/encoding
     std::uint64_t dropped_wrong_shard = 0;  // well-formed, foreign shard tag
     std::uint64_t dropped_unattached = 0;  // well-formed, but no such node
@@ -110,22 +136,14 @@ class UdpTransport final : public Transport {
   };
   const Stats& stats() const { return stats_; }
 
-  // -- Envelope codec (exposed for tests and tooling) ------------------------
-  // v2 layout: magic u32 | version u8 | shard u32 | src u32 | dst u32 |
-  // payload-length u32 | payload. v1 (no shard field) is not accepted: a
-  // cohort is always deployed as one build, and rejecting the old version
-  // outright keeps the strict-framing property (every accepted datagram
-  // has exactly one valid reading).
-  static constexpr std::uint32_t kMagic = 0x55525353;  // "SSRU" little-endian
-  static constexpr std::uint8_t kVersion = 2;
-  static wire::Bytes encode_envelope(std::uint32_t shard, NodeId src,
-                                     NodeId dst, const wire::Bytes& payload);
-  /// On success `*shard_out` (when non-null) receives the envelope's shard
-  /// tag; shard filtering is the receive path's job, not the codec's.
-  static std::optional<Packet> decode_envelope(const std::uint8_t* data,
-                                               std::size_t len,
-                                               std::uint32_t* shard_out =
-                                                   nullptr);
+  // -- Syscall seams (tests only) --------------------------------------------
+  // Raw function pointers so batching edge cases (partial sendmmsg returns,
+  // per-datagram errors, scripted recvmmsg fills) are testable without a
+  // cooperating kernel. Production code never touches these.
+  using SendmmsgFn = int (*)(int fd, mmsghdr* msgs, unsigned n, int flags);
+  using RecvmmsgFn = int (*)(int fd, mmsghdr* msgs, unsigned n, int flags,
+                             timespec* timeout);
+  void set_syscall_hooks(SendmmsgFn send_fn, RecvmmsgFn recv_fn);
 
  private:
   /// Pooled timer record; the same {slot, generation} handle scheme as
@@ -152,6 +170,8 @@ class UdpTransport final : public Transport {
   };
 
   bool drain_socket();
+  void process_datagram(const std::uint8_t* data, std::size_t len,
+                        const sockaddr_in& from, socklen_t from_len);
   bool fire_due_timers();
   /// Wall time until the next live timer, or `fallback` with none pending.
   SimTime wait_budget(SimTime fallback);
@@ -163,17 +183,36 @@ class UdpTransport final : public Transport {
   static const TimerHandle::Ops kTimerOps;
 
   UdpTransportConfig cfg_;
+  Session session_;
   int fd_ = -1;
   std::uint16_t local_port_ = 0;
   std::uint64_t epoch_usec_ = 0;  // steady-clock origin
   std::map<NodeId, Handler> handlers_;
-  std::map<NodeId, std::vector<std::uint8_t>> addrs_;  // resolved sockaddr_in
   IdSet blocked_;
   std::uint64_t next_seq_ = 0;
   std::vector<TimerSlot> timer_slots_;
   std::uint32_t timer_free_head_ = 0xFFFFFFFFu;
   std::priority_queue<TimerEntry, std::vector<TimerEntry>, Later> timers_;
-  std::vector<std::uint8_t> rx_buf_;
+
+  // Send ring: parallel fixed-size arrays, `tx_count_` staged entries.
+  // Destination addresses are copied at stage time — the session's address
+  // book may rebind a route between stage and flush, and the datagram must
+  // go where the route pointed when send() ran.
+  std::vector<wire::Bytes> tx_bufs_;
+  std::vector<sockaddr_in> tx_addrs_;
+  std::vector<iovec> tx_iov_;
+  std::vector<mmsghdr> tx_msgs_;
+  std::size_t tx_count_ = 0;
+
+  // Receive array: one contiguous block sliced into `batch` buffers of
+  // max_datagram bytes each, filled by a single recvmmsg.
+  std::vector<std::uint8_t> rx_block_;
+  std::vector<sockaddr_in> rx_from_;
+  std::vector<iovec> rx_iov_;
+  std::vector<mmsghdr> rx_msgs_;
+
+  SendmmsgFn sendmmsg_fn_;
+  RecvmmsgFn recvmmsg_fn_;
   Stats stats_;
 };
 

@@ -75,6 +75,7 @@ void Node::start(const IdSet& seed_peers) {
   for (NodeId peer : seed_peers) {
     if (peer != id_) mux_.connect(peer);
   }
+  mux_.flush_transport();  // cleaning probes for every seed peer, one batch
   arm_timer();
 }
 
@@ -102,6 +103,7 @@ void Node::tick() {
   increment_.tick();
   if (vs_) vs_->tick();
   registers_.tick();
+  mux_.flush_transport();  // tick boundary: the whole fan-out in one batch
   arm_timer();
 }
 

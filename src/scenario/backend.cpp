@@ -13,6 +13,9 @@ std::string ScenarioResult::summary() const {
     os << " ops=" << ops_completed << " p50=" << op_p50_us << "us"
        << " p99=" << op_p99_us << "us";
   }
+  if (net_syscalls > 0) {
+    os << " syscalls=" << net_syscalls << " batched=" << net_batched;
+  }
   if (!failure.empty()) os << " failure=\"" << failure << "\"";
   for (const auto& v : violations) {
     os << "\n  violation[" << v.invariant << "]: " << v.message;

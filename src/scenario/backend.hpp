@@ -45,6 +45,13 @@ struct ScenarioResult {
   std::uint64_t ops_completed = 0;
   std::uint64_t op_p50_us = 0;
   std::uint64_t op_p99_us = 0;
+  /// UDP syscall batching, summed over the fleet's final STATUS samples
+  /// (process backend only; the simulator makes no syscalls): sendmmsg +
+  /// recvmmsg invocations, and datagrams that shared a send syscall with at
+  /// least one other. batched/sent close to 1 means the ring is doing its
+  /// job; syscalls well below packets_sent+packets_delivered is the win.
+  std::uint64_t net_syscalls = 0;
+  std::uint64_t net_batched = 0;
   std::vector<InvariantRegistry::Violation> violations;
 
   std::string summary() const;

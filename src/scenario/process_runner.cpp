@@ -340,6 +340,8 @@ bool ProcessRunner::sample_node(NodeId id, Proc& p) {
   p.shmq = parse_u64(kv, "shmq");
   p.sent = parse_u64(kv, "sent");
   p.recv = parse_u64(kv, "recv");
+  p.syscalls = parse_u64(kv, "syscalls");
+  p.batched = parse_u64(kv, "batched");
   p.has_vs = kv.count("vsmc") != 0;
   if (p.has_vs) {
     p.vs_multicast = parse_u64(kv, "vsmc") != 0;
@@ -573,6 +575,8 @@ ScenarioResult ProcessRunner::finish() {
     (void)id;
     r.packets_sent += p.sent;
     r.packets_delivered += p.recv;
+    r.net_syscalls += p.syscalls;
+    r.net_batched += p.batched;
   }
   return r;
 }

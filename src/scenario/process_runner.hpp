@@ -127,6 +127,8 @@ class ProcessRunner final : public ScenarioBackend {
     std::uint64_t shmq = 0;
     std::uint64_t sent = 0;
     std::uint64_t recv = 0;
+    std::uint64_t syscalls = 0;  // sendmmsg+recvmmsg calls (STATUS syscalls=)
+    std::uint64_t batched = 0;   // datagrams sharing a send syscall
     // VS layer sample (valid when has_vs).
     bool has_vs = false;
     bool vs_multicast = false;

@@ -23,6 +23,7 @@ def load(path):
     return (
         {s["name"]: s for s in doc.get("scenarios", [])},
         {s["shards"]: s for s in doc.get("sharded_throughput", [])},
+        {s["batch"]: s for s in doc.get("udp_batch", [])},
     )
 
 
@@ -30,6 +31,20 @@ def load(path):
 # capacity (CPU-time normalized, so stable on shared runners) must reach
 # these multiples of the 1-shard run.
 SHARD_SCALING_FLOORS = {2: 1.6, 4: 2.5}
+
+# Syscall-batching floors for --check-udp-batch, on the candidate's batched
+# udp_batch rows (batch > 1). The hard contract is coalescing: the sendmmsg
+# ring must actually share syscalls (datagrams per send syscall), which is a
+# deterministic property of the ring, not a timing. The throughput ratio
+# over the batch=1 baseline is also floored, but conservatively: how much a
+# saved syscall buys depends on the host's syscall-entry cost (mitigation
+# config) and on whether sender and receiver share a core — measured 1.2 to
+# 1.3x on a 1-core dev host with cheap syscalls, far more where entry costs
+# approach a microsecond. The floor asserts batching never regresses and
+# measurably helps everywhere, without encoding one host's mitigation
+# settings into CI.
+UDP_BATCH_MIN_DGRAMS_PER_SYSCALL = 8.0
+UDP_BATCH_MIN_SPEEDUP = 1.05
 
 
 def main():
@@ -49,10 +64,17 @@ def main():
         help="fail unless the candidate's sharded throughput reaches "
         + ", ".join(f"{v}x at {k} shards" for k, v in SHARD_SCALING_FLOORS.items()),
     )
+    ap.add_argument(
+        "--check-udp-batch",
+        action="store_true",
+        help="fail unless the candidate's batched udp_batch rows reach "
+        f"{UDP_BATCH_MIN_DGRAMS_PER_SYSCALL:.0f} datagrams/send-syscall and "
+        f"{UDP_BATCH_MIN_SPEEDUP}x the batch=1 packet rate",
+    )
     args = ap.parse_args()
 
-    base, base_sharded = load(args.baseline)
-    cand, cand_sharded = load(args.candidate)
+    base, base_sharded, base_udp = load(args.baseline)
+    cand, cand_sharded, cand_udp = load(args.candidate)
 
     rows = []
     failed = []
@@ -98,6 +120,44 @@ def main():
                 if got < floor:
                     scaling_failed.append((shards, got, floor))
 
+    udp_failed = []
+    if base_udp or cand_udp:
+        print()
+        print(
+            f"{'udp batching':<28} {'baseline pkt/s':>15} "
+            f"{'candidate pkt/s':>16} {'dgrams/syscall':>15} {'speedup':>8}"
+        )
+        for batch in sorted(set(base_udp) | set(cand_udp)):
+            b_pps = base_udp.get(batch, {}).get("packets_per_sec")
+            c = cand_udp.get(batch, {})
+            b_col = f"{b_pps:,.0f}" if b_pps is not None else "—"
+            c_col = f"{c['packets_per_sec']:,.0f}" if c else "—"
+            d_col = f"{c['datagrams_per_send_syscall']:.2f}" if c else "—"
+            s_col = f"{c['speedup_vs_batch1']:.2f}x" if c else "—"
+            print(
+                f"{f'batch={batch}':<28} {b_col:>15} {c_col:>16} "
+                f"{d_col:>15} {s_col:>8}"
+            )
+        if args.check_udp_batch:
+            batched = {b: s for b, s in cand_udp.items() if b > 1}
+            if not batched:
+                udp_failed.append("no batched udp_batch row in the candidate")
+            for batch, s in sorted(batched.items()):
+                dps = s.get("datagrams_per_send_syscall", 0.0)
+                spd = s.get("speedup_vs_batch1", 0.0)
+                if dps < UDP_BATCH_MIN_DGRAMS_PER_SYSCALL:
+                    udp_failed.append(
+                        f"batch={batch} coalesced {dps:.2f} datagrams/send-"
+                        f"syscall (floor {UDP_BATCH_MIN_DGRAMS_PER_SYSCALL:.0f})"
+                    )
+                if spd < UDP_BATCH_MIN_SPEEDUP:
+                    udp_failed.append(
+                        f"batch={batch} ran at {spd:.2f}x the batch=1 packet "
+                        f"rate (floor {UDP_BATCH_MIN_SPEEDUP}x)"
+                    )
+    elif args.check_udp_batch:
+        udp_failed.append("candidate has no udp_batch section")
+
     for name, speedup in failed:
         print(
             f"REGRESSION: {name} at {speedup:.2f}x of baseline "
@@ -110,7 +170,9 @@ def main():
             f"aggregate (floor {floor}x)",
             file=sys.stderr,
         )
-    return 1 if failed or scaling_failed else 0
+    for msg in udp_failed:
+        print(f"UDP-BATCH: {msg}", file=sys.stderr)
+    return 1 if failed or scaling_failed or udp_failed else 0
 
 
 if __name__ == "__main__":

@@ -72,6 +72,7 @@ struct Options {
   std::uint64_t seed = 0;  // 0 = derive from id
   std::uint64_t exhaust_bound = 0;  // 0 = keep the counter default
   std::uint32_t shard = 0;  // envelope shard tag (sharded deployments)
+  std::size_t batch = 16;   // sendmmsg/recvmmsg ring depth (1 = unbatched)
   bool enable_vs = false;
   bool aggressive = false;
 };
@@ -83,7 +84,7 @@ int usage() {
                "                [--retransmit-us T=2000] [--ack-threshold A=3]"
                " [--vs]\n"
                "                [--seed R] [--aggressive] [--port-file FILE]"
-               "\n");
+               " [--batch N=16]\n");
   return 2;
 }
 
@@ -352,7 +353,14 @@ class Daemon {
          << " malformed=" << transport_.stats().dropped_malformed
          << " wrongshard=" << transport_.stats().dropped_wrong_shard
          << " filtin=" << transport_.stats().filtered_in
-         << " filtout=" << transport_.stats().filtered_out;
+         << " filtout=" << transport_.stats().filtered_out
+         << " syscalls=" << transport_.stats().send_syscalls +
+                                transport_.stats().recv_syscalls
+         << " batched=" << transport_.stats().batched_sends
+         << " noroute=" << transport_.stats().no_route
+         << " sendfail=" << transport_.stats().send_failures
+         << " partial=" << transport_.stats().send_partial
+         << " recverr=" << transport_.stats().recv_errors;
       if (auto* v = node_->vs()) {
         const vs::View& view = v->view();
         std::uint64_t vd = scenario::TraceRecorder::kFnvBasis;
@@ -516,6 +524,11 @@ int main(int argc, char** argv) {
           std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--exhaust-bound" && i + 1 < argc) {
       opt.exhaust_bound = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--batch" && i + 1 < argc) {
+      // A/B switch for the syscall-batching datapath; 1 = one syscall per
+      // datagram (the pre-batching behavior), clamped by the transport.
+      opt.batch = std::strtoull(argv[++i], nullptr, 10);
+      if (opt.batch == 0) opt.batch = 1;
     } else if (arg == "--vs") {
       opt.enable_vs = true;
     } else if (arg == "--aggressive") {
@@ -545,6 +558,7 @@ int main(int argc, char** argv) {
   tcfg.self = opt.id;
   tcfg.peers = *peers;
   tcfg.shard = opt.shard;
+  tcfg.batch = opt.batch;
   ssr::IdSet all_ids;
   for (const auto& [id, ep] : *peers) {
     (void)ep;
