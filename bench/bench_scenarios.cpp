@@ -30,6 +30,8 @@
 #include "net/channel.hpp"
 #include "scenario/library.hpp"
 #include "scenario/runner.hpp"
+#include "scenario/sweep.hpp"
+#include "scenario/trace.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -200,6 +202,20 @@ std::map<int, ShardedAgg>& sharded_metrics() {
   return m;
 }
 
+struct SweepAgg {
+  int iterations = 0;
+  double wall_ms = 0;
+  double runs = 0;         // (spec, seed) jobs completed
+  double agg_events = 0;   // scheduler events summed over every job
+  double max_cpu_sec = 0;  // slowest worker's thread CPU time, summed per iter
+};
+
+// Keyed by --jobs; jobs=1 is the serial baseline speedup_vs_1job divides by.
+std::map<int, SweepAgg>& sweep_metrics() {
+  static std::map<int, SweepAgg> m;
+  return m;
+}
+
 #if defined(__linux__)
 struct UdpBatchAgg {
   int iterations = 0;
@@ -266,6 +282,35 @@ void write_json(const char* path) {
                    first ? "" : ",\n", shards, a.iterations,
                    a.wall_ms / a.iterations, a.agg_events / a.iterations,
                    per_cpu, base > 0 ? per_cpu / base : 0);
+      first = false;
+    }
+    std::fprintf(f, "\n  ]");
+  }
+  if (!sweep_metrics().empty()) {
+    // Parallel sweep engine (see BM_SweepThroughput): aggregate scheduler
+    // events normalized by the slowest worker's CPU seconds, so the scaling
+    // figure measures per-core capacity on any host. speedup_vs_1job is the
+    // floor bench_compare.py --check-sweep-scaling enforces.
+    double base = 0;
+    if (auto it = sweep_metrics().find(1);
+        it != sweep_metrics().end() && it->second.max_cpu_sec > 0) {
+      base = it->second.agg_events / it->second.max_cpu_sec;
+    }
+    std::fprintf(f, ",\n  \"sweep\": [\n");
+    bool first = true;
+    for (const auto& [jobs, a] : sweep_metrics()) {
+      if (a.iterations == 0 || a.max_cpu_sec <= 0) continue;
+      const double per_cpu = a.agg_events / a.max_cpu_sec;
+      std::fprintf(f,
+                   "%s    {\"jobs\": %d, \"iterations\": %d, "
+                   "\"wall_ms\": %.3f, \"runs\": %.1f, "
+                   "\"agg_sched_events\": %.1f, "
+                   "\"agg_events_per_cpu_sec\": %.1f, "
+                   "\"speedup_vs_1job\": %.3f}",
+                   first ? "" : ",\n", jobs, a.iterations,
+                   a.wall_ms / a.iterations, a.runs / a.iterations,
+                   a.agg_events / a.iterations, per_cpu,
+                   base > 0 ? per_cpu / base : 0);
       first = false;
     }
     std::fprintf(f, "\n  ]");
@@ -424,6 +469,65 @@ void BM_ShardedThroughput(benchmark::State& state) {
       local.max_cpu_sec > 0 ? local.agg_events / local.max_cpu_sec : 0);
 }
 BENCHMARK(BM_ShardedThroughput)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Iterations(2);
+
+// --- Parallel sweep throughput ----------------------------------------------
+
+/// The sweep engine over one scenario × 16 seeds at Arg(0) worker threads.
+/// Jobs are fully independent worlds, so aggregate capacity should scale
+/// with cores; like BM_ShardedThroughput, the headline metric is CPU-time
+/// normalized — aggregate scheduler events divided by the *slowest*
+/// worker's thread CPU seconds (SweepSummary::max_worker_cpu_sec) — which
+/// projects the events/sec an N-core host would sustain even when this
+/// host has a single timesliced core. write_json derives speedup_vs_1job
+/// from it; bench_compare.py --check-sweep-scaling holds the ≥2.0x floor
+/// at 4 jobs.
+void BM_SweepThroughput(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  auto spec = scenario::find_scenario("majority-split");
+  if (!spec) {
+    state.SkipWithError("unknown scenario");
+    return;
+  }
+  constexpr std::uint64_t kFirstSeed = 100;
+  constexpr std::uint64_t kSeeds = 16;
+  SweepAgg local;
+  for (auto _ : state) {
+    scenario::SweepOptions opt;
+    opt.jobs = jobs;
+    scenario::SweepRunner runner(opt);
+    runner.add_seed_range(*spec, kFirstSeed, kFirstSeed + kSeeds - 1);
+    const scenario::SweepSummary s = runner.run();
+    if (!s.ok) {
+      state.SkipWithError("a sweep job failed");
+      return;
+    }
+    if (s.max_worker_cpu_sec <= 0) {
+      state.SkipWithError("no per-thread CPU clock on this platform");
+      return;
+    }
+    ++local.iterations;
+    local.wall_ms += s.wall_ms;
+    local.runs += static_cast<double>(s.results.size());
+    for (const scenario::ScenarioResult& r : s.results) {
+      local.agg_events += static_cast<double>(r.sched_events);
+    }
+    local.max_cpu_sec += s.max_worker_cpu_sec;
+  }
+  SweepAgg& agg = sweep_metrics()[static_cast<int>(jobs)];
+  agg.iterations += local.iterations;
+  agg.wall_ms += local.wall_ms;
+  agg.runs += local.runs;
+  agg.agg_events += local.agg_events;
+  agg.max_cpu_sec += local.max_cpu_sec;
+  state.counters["agg_events_per_cpu_sec"] = benchmark::Counter(
+      local.max_cpu_sec > 0 ? local.agg_events / local.max_cpu_sec : 0);
+}
+BENCHMARK(BM_SweepThroughput)
     ->Unit(benchmark::kMillisecond)
     ->Arg(1)
     ->Arg(2)
@@ -660,6 +764,41 @@ void BM_PairStoreMaintainAlloc(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PairStoreMaintainAlloc);
+
+/// Steady-state TraceRecorder::record() with warmed ring segments must be a
+/// pure slot write: zero heap allocations per event. The recorder is warmed
+/// past several segment boundaries, clear()-rewound (which retains the
+/// segments), and then driven through record/clear laps that stay within
+/// the warmed high-water mark — the exact lifecycle of a sweep worker
+/// recycling its recorder between jobs. Same loud CI failure on regression
+/// as the other counting-new benches.
+void BM_TraceRecordAlloc(benchmark::State& state) {
+  scenario::TraceRecorder trace;
+  const std::size_t warm_events = 3 * scenario::TraceRecorder::kSegmentEvents;
+  for (std::size_t i = 0; i < warm_events; ++i) {
+    trace.record(scenario::TraceKind::kPhaseStart, 1, i, i);
+  }
+  trace.clear();
+  std::uint64_t events = 0;
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    if (trace.size() == warm_events) trace.clear();  // ring lap boundary
+    trace.record(scenario::TraceKind::kVsDeliver, 2, events, events * 31);
+    ++events;
+  }
+  const std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  benchmark::DoNotOptimize(trace.hash());
+  state.counters["allocs_per_event"] = benchmark::Counter(
+      events > 0 ? static_cast<double>(allocs) / static_cast<double>(events)
+                 : 0);
+  if (allocs != 0) {
+    g_alloc_regression = true;
+    state.SkipWithError("steady-state trace recording allocated on the heap");
+  }
+}
+BENCHMARK(BM_TraceRecordAlloc);
 
 // --- Wire encode micro-benches ----------------------------------------------
 

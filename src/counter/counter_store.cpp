@@ -1,26 +1,36 @@
 #include "counter/counter_store.hpp"
 
+#include <span>
+
 namespace ssr::counter {
 
 CounterStore::CounterStore(NodeId self, label::StoreConfig cfg, Rng rng)
     : label::PairStore<CounterPair>(
           self, cfg,
           [this, self](const std::deque<CounterPair>& known) {
-            return create(self, rng_, known);
+            return create(self, known);
           }),
       rng_(rng) {}
 
-CounterPair CounterStore::create(NodeId self, Rng& rng,
+CounterPair CounterStore::create(NodeId self,
                                  const std::deque<CounterPair>& known) {
-  std::vector<Label> labels;
+  // Candidate labels are read through pointers into the stored queue; the
+  // pointer list lives in mint-scratch arena storage rewound per call, so
+  // the bootstrap path stops allocating once the arena's high-water mark
+  // covers the (bounded) queue.
+  arena_.reset();
+  std::vector<const Label*, util::ArenaAllocator<const Label*>> labels{
+      util::ArenaAllocator<const Label*>(arena_)};
+  labels.reserve(2 * known.size());
   for (const CounterPair& cp : known) {
-    if (cp.mct) labels.push_back(cp.mct->lbl);
-    if (cp.cct) labels.push_back(cp.cct->lbl);
+    if (cp.mct) labels.push_back(&cp.mct->lbl);
+    if (cp.cct) labels.push_back(&cp.cct->lbl);
   }
   // A fresh epoch starts at seqn = 0 with the creator as writer
   // (Algorithm 4.3 interface note).
   Counter c;
-  c.lbl = Label::next_label(self, labels, rng);
+  c.lbl = Label::next_label(
+      self, std::span<const Label* const>(labels.data(), labels.size()), rng_);
   c.seqn = 0;
   c.wid = self;
   return CounterPair::of(c);

@@ -2,6 +2,7 @@
 
 #include "counter/counter.hpp"
 #include "label/pair_store.hpp"
+#include "util/arena.hpp"
 
 namespace ssr::counter {
 
@@ -12,9 +13,10 @@ class CounterStore : public label::PairStore<CounterPair> {
   CounterStore(NodeId self, label::StoreConfig cfg, Rng rng);
 
  private:
-  static CounterPair create(NodeId self, Rng& rng,
-                            const std::deque<CounterPair>& known);
+  CounterPair create(NodeId self, const std::deque<CounterPair>& known);
   Rng rng_;
+  /// Per-mint candidate scratch, reset each call (see LabelStore::create).
+  util::Arena arena_;
 };
 
 }  // namespace ssr::counter

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,14 @@ struct Label {
   /// Creates a label greater (under ≺lb) than every label in `known` with
   /// the same creator: antistings cover their stings, the fresh sting avoids
   /// all of their antistings.
+  ///
+  /// The span overload is the core: it reads candidates through pointers so
+  /// callers that already own the labels (the stores' mint paths) can pass
+  /// an arena-backed pointer scratch list instead of copying whole labels —
+  /// candidate iteration order, and therefore every RNG draw, is identical
+  /// between the two overloads.
+  static Label next_label(NodeId creator, std::span<const Label* const> known,
+                          Rng& rng);
   static Label next_label(NodeId creator, const std::vector<Label>& known,
                           Rng& rng);
 

@@ -1,24 +1,36 @@
 #include "label/label_store.hpp"
 
+#include <span>
+
 namespace ssr::label {
 
 LabelStore::LabelStore(NodeId self, StoreConfig cfg, Rng rng)
     : PairStore<LabelPair>(self, cfg,
                            [this, self](const std::deque<LabelPair>& known) {
-                             return create(self, rng_, known);
+                             return create(self, known);
                            }),
       rng_(rng) {}
 
-LabelPair LabelStore::create(NodeId self, Rng& rng,
-                             const std::deque<LabelPair>& known) {
+LabelPair LabelStore::create(NodeId self, const std::deque<LabelPair>& known) {
   // nextLabel() considers both ml and cl of every stored own pair
-  // (Algorithm 4.2, line 16 comment).
-  std::vector<Label> labels;
+  // (Algorithm 4.2, line 16 comment). The candidate list is pointers into
+  // the queue, built in arena scratch that is rewound per mint: after the
+  // arena's high-water mark is reached (bounded by the queue capacity),
+  // this path no longer touches the heap.
+  arena_.reset();
+  std::vector<const Label*, util::ArenaAllocator<const Label*>> labels{
+      util::ArenaAllocator<const Label*>(arena_)};
+  labels.reserve(2 * known.size());
   for (const LabelPair& lp : known) {
-    if (lp.ml) labels.push_back(*lp.ml);
-    if (lp.cl) labels.push_back(*lp.cl);
+    // ssr-lint: allow(hot-path-alloc) arena-backed scratch vector: growth
+    // bumps the mint arena, not the heap (exact reserve above).
+    if (lp.ml) labels.push_back(&*lp.ml);
+    // ssr-lint: allow(hot-path-alloc) same arena-backed scratch.
+    if (lp.cl) labels.push_back(&*lp.cl);
   }
-  return LabelPair::of(Label::next_label(self, labels, rng));
+  return LabelPair::of(Label::next_label(
+      self, std::span<const Label* const>(labels.data(), labels.size()),
+      rng_));
 }
 
 }  // namespace ssr::label

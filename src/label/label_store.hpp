@@ -1,6 +1,7 @@
 #pragma once
 
 #include "label/pair_store.hpp"
+#include "util/arena.hpp"
 
 namespace ssr::label {
 
@@ -9,10 +10,19 @@ class LabelStore : public PairStore<LabelPair> {
  public:
   LabelStore(NodeId self, StoreConfig cfg, Rng rng);
 
+  /// Mint-scratch arena telemetry (capacity growth stops once the first
+  /// mint establishes the high-water mark — the reset-reuse property the
+  /// arena unit tests pin; pair_store_test's MintScratchStopsGrowing
+  /// checks it end to end through this accessor).
+  const util::Arena& mint_arena() const { return arena_; }
+
  private:
-  static LabelPair create(NodeId self, Rng& rng,
-                          const std::deque<LabelPair>& known);
+  LabelPair create(NodeId self, const std::deque<LabelPair>& known);
   Rng rng_;
+  /// Backs the candidate pointer list built per mint; reset() at the top of
+  /// every create() call, so after the first few mints the bootstrap path
+  /// performs no heap allocation for its scratch work.
+  util::Arena arena_;
 };
 
 }  // namespace ssr::label

@@ -6,6 +6,7 @@
 
 #include "scenario/invariants.hpp"
 #include "scenario/trace.hpp"
+#include "util/histogram.hpp"
 #include "util/types.hpp"
 
 namespace ssr::scenario {
@@ -45,6 +46,10 @@ struct ScenarioResult {
   std::uint64_t ops_completed = 0;
   std::uint64_t op_p50_us = 0;
   std::uint64_t op_p99_us = 0;
+  /// The full latency histogram behind the percentiles above, so sweep
+  /// aggregation can merge bucket counts across runs (summing buckets is
+  /// exact; averaging per-run percentiles is not).
+  util::LatencyHistogram op_latency;
   /// UDP syscall batching, summed over the fleet's final STATUS samples
   /// (process backend only; the simulator makes no syscalls): sendmmsg +
   /// recvmmsg invocations, and datagrams that shared a send syscall with at

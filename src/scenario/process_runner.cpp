@@ -566,11 +566,12 @@ ScenarioResult ProcessRunner::finish() {
   // scratch directory: the destructor keys on failed_.
   if (!r.ok) failed_ = true;
   r.trace_hash = trace_.hash();
-  r.trace_events = trace_.events().size();
+  r.trace_events = trace_.size();
   r.sim_time = now();
   r.ops_completed = op_latency_.count();
   r.op_p50_us = op_latency_.percentile(50);
   r.op_p99_us = op_latency_.percentile(99);
+  r.op_latency = op_latency_;
   for (const auto& [id, p] : procs_) {
     (void)id;
     r.packets_sent += p.sent;

@@ -97,7 +97,7 @@ ScenarioResult ScenarioRunner::run() {
   r.violations = registry_->check_all();
   r.ok = !failed_ && r.violations.empty();
   r.trace_hash = trace_.hash();
-  r.trace_events = trace_.events().size();
+  r.trace_events = trace_.size();
   r.sim_time = world_->scheduler().now();
   r.sched_events = world_->scheduler().events_executed();
   const wire::BufferPool::Stats& pool = wire::BufferPool::local().stats();
@@ -106,6 +106,7 @@ ScenarioResult ScenarioRunner::run() {
   r.ops_completed = op_latency_.count();
   r.op_p50_us = op_latency_.percentile(50);
   r.op_p99_us = op_latency_.percentile(99);
+  r.op_latency = op_latency_;
   world_->network().for_each_channel(
       [&r](NodeId, NodeId, net::Channel& ch) {
         r.packets_sent += ch.stats().sent;

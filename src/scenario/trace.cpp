@@ -36,6 +36,41 @@ std::uint64_t digest_batch(
   return h;
 }
 
+/// Thread-local free list of trace segments, mirroring wire::BufferPool:
+/// recorders on one thread (a sweep worker churning through jobs, the bench
+/// loop) hand segments back on destruction and the next recorder picks them
+/// up warm. Bounded so a one-off giant trace cannot pin memory forever.
+class SegmentPool {
+ public:
+  static constexpr std::size_t kMaxFree = 32;
+
+  std::unique_ptr<TraceRecorder::Segment> acquire() {
+    if (!free_.empty()) {
+      auto seg = std::move(free_.back());
+      free_.pop_back();
+      return seg;
+    }
+    // ssr-lint: allow(hot-path-alloc) pool miss: only while this thread's
+    // high-water trace size is still growing; recycled ever after.
+    return std::make_unique<TraceRecorder::Segment>();
+  }
+
+  void release(std::unique_ptr<TraceRecorder::Segment> seg) {
+    if (free_.size() >= kMaxFree) return;  // drop: bounded retention
+    // ssr-lint: allow(hot-path-alloc) free-list growth is bounded by
+    // kMaxFree slots and amortized across every later acquire().
+    free_.push_back(std::move(seg));
+  }
+
+  static SegmentPool& local() {
+    thread_local SegmentPool pool;
+    return pool;
+  }
+
+ private:
+  std::vector<std::unique_ptr<TraceRecorder::Segment>> free_;
+};
+
 }  // namespace
 
 const char* to_string(TraceKind k) {
@@ -68,6 +103,18 @@ std::uint64_t TraceRecorder::mix(std::uint64_t h, std::uint64_t x) {
   return h;
 }
 
+TraceRecorder::~TraceRecorder() {
+  for (auto& seg : segs_) {
+    if (seg) SegmentPool::local().release(std::move(seg));
+  }
+}
+
+void TraceRecorder::grow() {
+  // ssr-lint: allow(hot-path-alloc) segment-pointer vector: grows once per
+  // kSegmentEvents records and only past the recorder's high-water mark.
+  segs_.push_back(SegmentPool::local().acquire());
+}
+
 void TraceRecorder::attach(harness::World& world) {
   world_ = &world;
   for (NodeId id : world.all_ids()) attach_node(world, id);
@@ -95,22 +142,26 @@ void TraceRecorder::attach_node(harness::World& world, NodeId id) {
 
 void TraceRecorder::record(TraceKind kind, NodeId node, std::uint64_t a,
                            std::uint64_t b) {
-  TraceEvent ev;
+  if (size_ == segs_.size() * kSegmentEvents) grow();
+  TraceEvent& ev = segs_[size_ / kSegmentEvents]->ev[size_ % kSegmentEvents];
   if (clock_) {
     ev.when = clock_();
   } else if (world_ != nullptr) {
     ev.when = world_->scheduler().now();
+  } else {
+    ev.when = 0;
   }
   ev.node = node;
   ev.kind = kind;
   ev.a = a;
   ev.b = b;
-  events_.push_back(ev);
+  ++size_;
 }
 
 std::uint64_t TraceRecorder::hash() const {
   std::uint64_t h = kFnvBasis;
-  for (const TraceEvent& e : events_) {
+  for (std::size_t i = 0; i < size_; ++i) {
+    const TraceEvent& e = (*this)[i];
     h = mix(h, e.when);
     h = mix(h, e.node);
     h = mix(h, static_cast<std::uint64_t>(e.kind));
@@ -135,19 +186,20 @@ std::string TraceRecorder::format_event(const TraceEvent& e) {
 
 std::string TraceRecorder::dump(std::size_t max_lines) const {
   std::ostringstream os;
-  std::size_t n = events_.size();
+  std::size_t n = size_;
   if (max_lines != 0 && max_lines < n) n = max_lines;
   for (std::size_t i = 0; i < n; ++i) {
-    os << format_event(events_[i]) << "\n";
+    os << format_event((*this)[i]) << "\n";
   }
-  if (n < events_.size()) {
-    os << "... (" << events_.size() - n << " more)\n";
+  if (n < size_) {
+    os << "... (" << size_ - n << " more)\n";
   }
   return os.str();
 }
 
 void TraceRecorder::save(std::ostream& os) const {
-  for (const TraceEvent& e : events_) {
+  for (std::size_t i = 0; i < size_; ++i) {
+    const TraceEvent& e = (*this)[i];
     os << e.when << ' ' << e.node << ' '
        << static_cast<std::uint64_t>(e.kind) << ' ' << std::hex << e.a << ' '
        << e.b << std::dec << '\n';
@@ -170,6 +222,8 @@ std::optional<std::vector<TraceEvent>> TraceRecorder::load(std::istream& is) {
     if (!(when_s >> e.when)) return std::nullopt;
     if (!(ls >> e.node >> kind >> std::hex >> e.a >> e.b)) return std::nullopt;
     e.kind = static_cast<TraceKind>(kind);
+    // ssr-lint: allow(hot-path-alloc) golden-trace parsing: tooling path
+    // (--diff), never on the recording hot path.
     out.push_back(e);
   }
   return out;

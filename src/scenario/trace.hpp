@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -52,19 +53,52 @@ struct TraceEvent {
 /// 64-bit hash (FNV-1a over the packed event fields). Attach before any
 /// traffic flows; explicit events (actions, convergence points) are pushed
 /// by the runner via record().
+///
+/// Storage is a ring of fixed-size segments drawn from a thread-local pool:
+/// record() is a slot write — never a reallocate-and-copy — and allocates
+/// only while the trace outgrows every segment seen so far on this thread.
+/// clear() rewinds without releasing segments and the destructor returns
+/// them to the pool, so recorders churned by a sweep worker reuse the same
+/// storage run after run (asserted by BM_TraceRecordAlloc).
 class TraceRecorder {
  public:
+  /// Events per pooled segment. Sized so one segment covers every library
+  /// scenario's trace (tens of events) while heavy fuzz/sweep traces grow
+  /// in coarse, pool-recyclable steps.
+  static constexpr std::size_t kSegmentEvents = 512;
+  struct Segment {
+    TraceEvent ev[kSegmentEvents];
+  };
+
+  TraceRecorder() = default;
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+  TraceRecorder(TraceRecorder&&) = default;
+  TraceRecorder& operator=(TraceRecorder&&) = default;
+
   void attach(harness::World& world);
   void attach_node(harness::World& world, NodeId id);
 
   /// World-less time source (process backend: wall clock since run start).
   /// When set it wins over the attached world's scheduler.
+  // ssr-lint: allow(hot-path-alloc) std::function: set once per run by the
+  // process backend, never on the per-event path.
   void set_clock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
 
   void record(TraceKind kind, NodeId node, std::uint64_t a = 0,
               std::uint64_t b = 0);
 
-  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const TraceEvent& operator[](std::size_t i) const {
+    return segs_[i / kSegmentEvents]->ev[i % kSegmentEvents];
+  }
+
+  /// Rewinds to empty while keeping every segment: the next run records
+  /// into warm storage without touching the heap (the "ring" reuse).
+  void clear() { size_ = 0; }
+
   std::uint64_t hash() const;
 
   /// Human-readable dump of up to `max_lines` events (0 = all).
@@ -87,9 +121,16 @@ class TraceRecorder {
   static constexpr std::uint64_t kFnvBasis = 1469598103934665603ULL;
 
  private:
+  /// Appends one segment (pool hit: zero heap traffic). Cold: called once
+  /// per kSegmentEvents records, and only past the high-water mark.
+  void grow();
+
   harness::World* world_ = nullptr;
+  // ssr-lint: allow(hot-path-alloc) std::function: assigned once per run
+  // (process backend), read-only on the per-event path.
   std::function<SimTime()> clock_;
-  std::vector<TraceEvent> events_;
+  std::vector<std::unique_ptr<Segment>> segs_;
+  std::size_t size_ = 0;
 };
 
 }  // namespace ssr::scenario

@@ -130,7 +130,7 @@ ShardedResult ShardedSimRunner::run() {
     pr.violations = shard.registry->check_all();
     pr.ok = pr.violations.empty();
     pr.trace_hash = shard.trace->hash();
-    pr.trace_events = shard.trace->events().size();
+    pr.trace_events = shard.trace->size();
     pr.sim_time = shard.world->scheduler().now();
     pr.sched_events = shard.world->scheduler().events_executed();
     shard.world->network().for_each_channel(

@@ -155,5 +155,34 @@ TEST(PairStore, DuplicatesMerged) {
   }
 }
 
+// The mint path's candidate scratch is arena-backed and rewound per mint:
+// after the first few mints establish the arena's high-water mark, repeated
+// minting adds no backing storage (the allocation-cleanup contract; the
+// counting-new benches guard the maintain path, this guards the mint
+// scratch end to end).
+TEST(PairStore, MintScratchStopsGrowing) {
+  auto s = make_store(1, IdSet{1});
+  // Force repeated mints: cancel the own max with itself as evidence; the
+  // next maintenance round propagates the cancellation into the stored
+  // queue, finds no legit label anywhere, and must mint afresh.
+  auto force_mint = [&s] {
+    LabelPair dead = s.local_max();
+    ASSERT_TRUE(dead.has_main());
+    dead.cancel_with(dead.main());
+    s.inject_max(1, dead);
+    s.refresh();
+  };
+  s.refresh();  // first mint
+  for (int i = 0; i < 4; ++i) force_mint();
+  const std::uint64_t minted = s.stats().created;
+  ASSERT_GT(minted, 1u);
+  const std::size_t mark = s.mint_arena().capacity_bytes();
+  ASSERT_GT(s.mint_arena().allocations(), 0u);
+  for (int i = 0; i < 50; ++i) force_mint();
+  EXPECT_GT(s.stats().created, minted);
+  EXPECT_EQ(s.mint_arena().capacity_bytes(), mark)
+      << "mint scratch grew past its high-water mark";
+}
+
 }  // namespace
 }  // namespace ssr::label

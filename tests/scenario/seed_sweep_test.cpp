@@ -1,8 +1,10 @@
 // Seed-sweep property: a (spec, seed) pair names exactly one execution.
-// Sweeping seeds 1..20 over three library scenarios asserts the two halves
-// of that contract at scale:
-//  * stability  — re-running a seed reproduces the identical trace hash,
-//    event count and virtual end time;
+// The 20-seed lap per scenario now runs through the parallel SweepRunner
+// (jobs=4) — exercising the sweep engine in the tier-1 suite — and asserts
+// the two halves of the contract at scale:
+//  * stability  — re-running a seed (serially, through the plain runner)
+//    reproduces the identical trace hash, event count and virtual end time,
+//    which doubles as a sweep-vs-direct-execution equivalence check;
 //  * divergence — any two different seeds produce different hashes (the
 //    channel delays alone reshuffle every delivery, and a 64-bit FNV
 //    collision across 20 seeds would itself be a red flag).
@@ -12,6 +14,7 @@
 
 #include "scenario/library.hpp"
 #include "scenario/runner.hpp"
+#include "scenario/sweep.hpp"
 
 namespace ssr::scenario {
 namespace {
@@ -25,29 +28,37 @@ TEST_P(SeedSweep, HashesStablePerSeedAndDistinctAcrossSeeds) {
   auto spec = find_scenario(GetParam());
   ASSERT_TRUE(spec.has_value()) << GetParam();
 
-  std::map<std::uint64_t, ScenarioResult> by_seed;
-  for (std::uint64_t seed = kFirstSeed; seed <= kLastSeed; ++seed) {
-    ScenarioResult r = run_scenario(*spec, seed);
+  SweepOptions opt;
+  opt.jobs = 4;
+  SweepRunner runner(opt);
+  runner.add_seed_range(*spec, kFirstSeed, kLastSeed);
+  const SweepSummary sweep = runner.run();
+  ASSERT_EQ(sweep.results.size(), kLastSeed - kFirstSeed + 1);
+  EXPECT_TRUE(sweep.ok);
+
+  std::map<std::uint64_t, const ScenarioResult*> by_seed;
+  for (const ScenarioResult& r : sweep.results) {
     EXPECT_TRUE(r.ok) << r.summary();
-    by_seed.emplace(seed, std::move(r));
+    by_seed.emplace(r.seed, &r);
   }
+  ASSERT_EQ(by_seed.size(), sweep.results.size()) << "duplicate seeds";
 
   // Divergence: every pair of seeds yields a different execution.
   for (auto a = by_seed.begin(); a != by_seed.end(); ++a) {
     for (auto b = std::next(a); b != by_seed.end(); ++b) {
-      EXPECT_NE(a->second.trace_hash, b->second.trace_hash)
+      EXPECT_NE(a->second->trace_hash, b->second->trace_hash)
           << GetParam() << ": seeds " << a->first << " and " << b->first
           << " collided";
     }
   }
 
-  // Stability: spot-check seeds reproduce byte-identically on a second lap
-  // (the full determinism machinery is seed-agnostic; replay_test covers
-  // the remaining scenarios at depth).
+  // Stability: spot-check seeds reproduce byte-identically through the
+  // plain (non-sweep) runner — a parallel sweep job and a direct serial run
+  // are the same execution.
   for (std::uint64_t seed : {kFirstSeed, (kFirstSeed + kLastSeed) / 2,
                              kLastSeed}) {
     const ScenarioResult again = run_scenario(*spec, seed);
-    const ScenarioResult& first = by_seed.at(seed);
+    const ScenarioResult& first = *by_seed.at(seed);
     EXPECT_EQ(first.trace_hash, again.trace_hash) << GetParam() << " seed "
                                                   << seed;
     EXPECT_EQ(first.trace_events, again.trace_events);

@@ -1,0 +1,120 @@
+// util::Arena contract: bump allocation inside reusable blocks, O(1) reset
+// that recycles storage without touching the heap, power-of-two alignment,
+// and a dedicated-block fallback for oversize requests — the properties the
+// label stores' mint-scratch paths and the sweep engine lean on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/arena.hpp"
+
+namespace ssr::util {
+namespace {
+
+bool aligned(const void* p, std::size_t align) {
+  return (reinterpret_cast<std::uintptr_t>(p) & (align - 1)) == 0;
+}
+
+TEST(Arena, BumpsWithinOneBlock) {
+  Arena a(1024);
+  void* p1 = a.allocate(100);
+  void* p2 = a.allocate(100);
+  ASSERT_NE(p1, nullptr);
+  ASSERT_NE(p2, nullptr);
+  EXPECT_NE(p1, p2);
+  EXPECT_EQ(a.blocks(), 1u);
+  // Bump order: the second allocation sits above the first.
+  EXPECT_GT(reinterpret_cast<std::uintptr_t>(p2),
+            reinterpret_cast<std::uintptr_t>(p1));
+}
+
+TEST(Arena, ResetReusesTheSameStorage) {
+  Arena a(1024);
+  void* first = a.allocate(64);
+  a.allocate(512);
+  const std::size_t blocks_before = a.blocks();
+  const std::size_t cap_before = a.capacity_bytes();
+
+  a.reset();
+  // Same request sequence after reset: identical placement, zero growth.
+  void* again = a.allocate(64);
+  a.allocate(512);
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(a.blocks(), blocks_before);
+  EXPECT_EQ(a.capacity_bytes(), cap_before);
+}
+
+TEST(Arena, ResetStopsHeapGrowthAtHighWaterMark) {
+  Arena a(256);
+  // First lap establishes the high-water mark (spills across blocks)...
+  for (int i = 0; i < 20; ++i) a.allocate(48);
+  const std::size_t mark = a.capacity_bytes();
+  EXPECT_GT(a.blocks(), 1u);
+  // ...after which no reset-and-refill lap adds storage.
+  for (int lap = 1; lap < 5; ++lap) {
+    a.reset();
+    for (int i = 0; i < 20; ++i) a.allocate(48);
+    EXPECT_EQ(a.capacity_bytes(), mark) << "lap " << lap << " grew the arena";
+  }
+}
+
+TEST(Arena, RespectsAlignment) {
+  Arena a(1024);
+  a.allocate(1);  // misalign the bump offset
+  for (std::size_t align : {2u, 8u, 16u, 64u, 128u}) {
+    void* p = a.allocate(8, align);
+    EXPECT_TRUE(aligned(p, align)) << "align " << align;
+    a.allocate(1);  // re-misalign between iterations
+  }
+}
+
+TEST(Arena, OversizeRequestGetsDedicatedBlock) {
+  Arena a(128);
+  void* small = a.allocate(16);
+  ASSERT_NE(small, nullptr);
+  // 10x the block size: must still succeed, in its own block.
+  void* big = a.allocate(1280);
+  ASSERT_NE(big, nullptr);
+  EXPECT_GE(a.blocks(), 2u);
+  EXPECT_GE(a.capacity_bytes(), 1280u + 128u);
+  // The oversize block is writable end to end.
+  std::memset(big, 0xAB, 1280);
+  // And recycled by reset like any other block.
+  const std::size_t cap = a.capacity_bytes();
+  a.reset();
+  a.allocate(16);
+  a.allocate(1280);
+  EXPECT_EQ(a.capacity_bytes(), cap);
+}
+
+TEST(Arena, AllocationCounterCounts) {
+  Arena a;
+  EXPECT_EQ(a.allocations(), 0u);
+  a.allocate(8);
+  a.allocate(8);
+  a.reset();
+  a.allocate(8);
+  EXPECT_EQ(a.allocations(), 3u);
+}
+
+TEST(ArenaAllocator, BacksAStdVector) {
+  Arena a(4096);
+  std::vector<int, ArenaAllocator<int>> v{ArenaAllocator<int>(a)};
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+  // All growth came from the arena, not the heap.
+  EXPECT_GT(a.allocations(), 0u);
+
+  // Rebuild after reset: same arena storage serves a fresh vector.
+  v = std::vector<int, ArenaAllocator<int>>{ArenaAllocator<int>(a)};
+  a.reset();
+  const std::size_t cap = a.capacity_bytes();
+  v.reserve(100);
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(a.capacity_bytes(), cap);
+}
+
+}  // namespace
+}  // namespace ssr::util

@@ -1,0 +1,89 @@
+// util::LatencyHistogram: recording/percentile sanity and — the property the
+// sweep engine rides on — merge() being exact bucket-wise aggregation, so a
+// merged histogram answers percentile queries identically to one that saw
+// every sample directly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/histogram.hpp"
+
+namespace ssr::util {
+namespace {
+
+TEST(LatencyHistogram, EmptyReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.percentile(50), 0u);
+  EXPECT_EQ(h.percentile(99.9), 0u);
+}
+
+TEST(LatencyHistogram, PercentilesBoundedByLogLinearError) {
+  LatencyHistogram h;
+  for (std::uint64_t us = 1; us <= 1000; ++us) h.record(us);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+  // Log-linear buckets guarantee ≤ 1/16 relative error on the upper edge.
+  const std::uint64_t p50 = h.percentile(50);
+  EXPECT_GE(p50, 500u);
+  EXPECT_LE(p50, 500u + 500u / 16 + 1);
+  const std::uint64_t p99 = h.percentile(99);
+  EXPECT_GE(p99, 990u);
+  EXPECT_LE(p99, 1000u);
+}
+
+TEST(LatencyHistogram, MergeSumsCountsAndTakesMaxOfMax) {
+  LatencyHistogram a, b;
+  for (std::uint64_t us = 1; us <= 100; ++us) a.record(us);
+  for (std::uint64_t us = 900; us <= 1000; ++us) b.record(us);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 100u + 101u);
+  EXPECT_EQ(a.max(), 1000u);
+  // b untouched.
+  EXPECT_EQ(b.count(), 101u);
+  EXPECT_EQ(b.max(), 1000u);
+}
+
+TEST(LatencyHistogram, MergeEqualsDirectRecording) {
+  // Split one sample stream across three histograms, merge, and compare
+  // against a histogram that recorded everything: identical percentiles at
+  // every probe point (merge is exact, unlike averaging percentiles).
+  LatencyHistogram direct, parts[3];
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 3000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;  // LCG
+    const std::uint64_t us = (x >> 33) % 2'000'000;
+    direct.record(us);
+    parts[i % 3].record(us);
+  }
+  LatencyHistogram merged;
+  for (const LatencyHistogram& p : parts) merged.merge(p);
+  EXPECT_EQ(merged.count(), direct.count());
+  EXPECT_EQ(merged.max(), direct.max());
+  for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    EXPECT_EQ(merged.percentile(p), direct.percentile(p)) << "p" << p;
+  }
+}
+
+TEST(LatencyHistogram, MergeEmptyIsIdentity) {
+  LatencyHistogram h, empty;
+  h.record(42);
+  h.merge(empty);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), 42u);
+  empty.merge(h);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.percentile(100), h.percentile(100));
+}
+
+TEST(LatencyHistogram, ResetClears) {
+  LatencyHistogram h;
+  h.record(7);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50), 0u);
+}
+
+}  // namespace
+}  // namespace ssr::util

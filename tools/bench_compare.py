@@ -24,6 +24,7 @@ def load(path):
         {s["name"]: s for s in doc.get("scenarios", [])},
         {s["shards"]: s for s in doc.get("sharded_throughput", [])},
         {s["batch"]: s for s in doc.get("udp_batch", [])},
+        {s["jobs"]: s for s in doc.get("sweep", [])},
     )
 
 
@@ -45,6 +46,13 @@ SHARD_SCALING_FLOORS = {2: 1.6, 4: 2.5}
 # settings into CI.
 UDP_BATCH_MIN_DGRAMS_PER_SYSCALL = 8.0
 UDP_BATCH_MIN_SPEEDUP = 1.05
+
+# Sweep-engine scaling floors for --check-sweep-scaling: the parallel
+# (spec, seed) sweep shares nothing between jobs, so aggregate capacity
+# (CPU-time normalized by the slowest worker, like the shard floors — and
+# for the same reason: stable on 1-core shared runners) must reach these
+# multiples of the jobs=1 run.
+SWEEP_SCALING_FLOORS = {2: 1.5, 4: 2.0}
 
 
 def main():
@@ -71,10 +79,16 @@ def main():
         f"{UDP_BATCH_MIN_DGRAMS_PER_SYSCALL:.0f} datagrams/send-syscall and "
         f"{UDP_BATCH_MIN_SPEEDUP}x the batch=1 packet rate",
     )
+    ap.add_argument(
+        "--check-sweep-scaling",
+        action="store_true",
+        help="fail unless the candidate's sweep throughput reaches "
+        + ", ".join(f"{v}x at {k} jobs" for k, v in SWEEP_SCALING_FLOORS.items()),
+    )
     args = ap.parse_args()
 
-    base, base_sharded, base_udp = load(args.baseline)
-    cand, cand_sharded, cand_udp = load(args.candidate)
+    base, base_sharded, base_udp, base_sweep = load(args.baseline)
+    cand, cand_sharded, cand_udp, cand_sweep = load(args.candidate)
 
     rows = []
     failed = []
@@ -119,6 +133,29 @@ def main():
                 got = cand_sharded.get(shards, {}).get("speedup_vs_1shard", 0.0)
                 if got < floor:
                     scaling_failed.append((shards, got, floor))
+
+    sweep_failed = []
+    if base_sweep or cand_sweep:
+        print()
+        print(
+            f"{'sweep throughput':<28} {'baseline ev/cpu-s':>18} "
+            f"{'candidate ev/cpu-s':>19} {'cand scaling':>13}"
+        )
+        for jobs in sorted(set(base_sweep) | set(cand_sweep)):
+            b_eps = base_sweep.get(jobs, {}).get("agg_events_per_cpu_sec")
+            c_eps = cand_sweep.get(jobs, {}).get("agg_events_per_cpu_sec")
+            scaling = cand_sweep.get(jobs, {}).get("speedup_vs_1job")
+            b_col = f"{b_eps:,.0f}" if b_eps is not None else "—"
+            c_col = f"{c_eps:,.0f}" if c_eps is not None else "—"
+            s_col = f"{scaling:.2f}x" if scaling is not None else "—"
+            print(f"{f'{jobs} job(s)':<28} {b_col:>18} {c_col:>19} {s_col:>13}")
+        if args.check_sweep_scaling:
+            for jobs, floor in SWEEP_SCALING_FLOORS.items():
+                got = cand_sweep.get(jobs, {}).get("speedup_vs_1job", 0.0)
+                if got < floor:
+                    sweep_failed.append((jobs, got, floor))
+    elif args.check_sweep_scaling:
+        sweep_failed.append((0, 0.0, 0.0))
 
     udp_failed = []
     if base_udp or cand_udp:
@@ -170,9 +207,18 @@ def main():
             f"aggregate (floor {floor}x)",
             file=sys.stderr,
         )
+    for jobs, got, floor in sweep_failed:
+        if jobs == 0:
+            print("SWEEP: candidate has no sweep section", file=sys.stderr)
+        else:
+            print(
+                f"SWEEP: {jobs} jobs reached {got:.2f}x of the 1-job "
+                f"aggregate (floor {floor}x)",
+                file=sys.stderr,
+            )
     for msg in udp_failed:
         print(f"UDP-BATCH: {msg}", file=sys.stderr)
-    return 1 if failed or scaling_failed or udp_failed else 0
+    return 1 if failed or scaling_failed or udp_failed or sweep_failed else 0
 
 
 if __name__ == "__main__":

@@ -20,6 +20,15 @@
 //   --diff FILE              re-run and report the first event where the
 //                            current trace diverges from the recorded one
 //
+// Parallel sweeps (simulator backend):
+//   --sweep                  run the selected scenarios as a (spec, seed)
+//                            job matrix on a worker pool; results print in
+//                            submission order and are byte-identical to a
+//                            serial run at any --jobs
+//   --jobs N                 worker threads (default 1)
+//   --seeds A..B             inclusive seed range (default: --seed alone)
+//   --record-dir DIR         save one trace file per job into DIR
+//
 // Exit status: 0 when every run met its awaits with zero invariant
 // violations (and, under --diff, the traces match), 1 otherwise (2 on
 // usage errors).
@@ -34,6 +43,7 @@
 
 #include "scenario/library.hpp"
 #include "scenario/runner.hpp"
+#include "scenario/sweep.hpp"
 #include "shard/sharded_scenario.hpp"
 #include "shard/sharded_sim.hpp"
 #ifdef __unix__
@@ -60,6 +70,12 @@ struct CliOptions {
   bool keep_logs = false;
   std::string record_path;
   std::string diff_path;
+  bool sweep = false;
+  std::size_t jobs = 1;
+  std::uint64_t seed_first = 0;
+  std::uint64_t seed_last = 0;
+  bool seeds_set = false;
+  std::string record_dir;
 };
 
 void list_scenarios() {
@@ -172,7 +188,7 @@ bool run_one(const ScenarioSpec& spec, const CliOptions& cli) {
                    cli.diff_path.c_str());
       return false;
     }
-    const auto& current = backend->trace().events();
+    const TraceRecorder& current = backend->trace();
     const std::size_t n = std::min(golden->size(), current.size());
     std::size_t at = n;
     for (std::size_t i = 0; i < n; ++i) {
@@ -202,6 +218,28 @@ bool run_one(const ScenarioSpec& spec, const CliOptions& cli) {
   return ok;
 }
 
+///// --sweep mode: the selected scenarios × the seed range as one job matrix
+/// on a SweepRunner worker pool. Output is in submission order — identical
+/// text at --jobs=1 and --jobs=N (the CI equivalence check diffs the two).
+bool run_sweep_mode(const std::vector<ScenarioSpec>& specs,
+                    const CliOptions& cli) {
+  SweepOptions opt;
+  opt.jobs = cli.jobs;
+  opt.record_dir = cli.record_dir;
+  SweepRunner runner(opt);
+  const std::uint64_t first = cli.seeds_set ? cli.seed_first : cli.seed;
+  const std::uint64_t last = cli.seeds_set ? cli.seed_last : cli.seed;
+  for (const ScenarioSpec& spec : specs) {
+    runner.add_seed_range(spec, first, last);
+  }
+  SweepSummary s = runner.run();
+  for (const ScenarioResult& r : s.results) {
+    std::printf("%s\n", r.summary().c_str());
+  }
+  std::printf("%s, jobs=%zu\n", s.summary().c_str(), cli.jobs);
+  return s.ok;
+}
+
 int usage() {
   std::fprintf(
       stderr,
@@ -218,8 +256,31 @@ int usage() {
       "  --work-dir DIR    scratch/log dir (process backend)\n"
       "  --keep-logs       keep the scratch dir on success too\n"
       "  --record FILE     save the trace stream (single --run)\n"
-      "  --diff FILE       compare against a recorded trace (single --run)\n");
+      "  --diff FILE       compare against a recorded trace (single --run)\n"
+      "  --sweep           run scenarios x seeds on a worker pool (sim)\n"
+      "  --jobs N          sweep worker threads (default 1)\n"
+      "  --seeds A..B      inclusive sweep seed range (default: --seed)\n"
+      "  --record-dir DIR  save one trace file per sweep job into DIR\n");
   return 2;
+}
+
+/// Parses "A..B" (inclusive) or a single "A" into [first, last].
+bool parse_seed_range(const std::string& s, std::uint64_t& first,
+                      std::uint64_t& last) {
+  const auto dots = s.find("..");
+  if (dots == std::string::npos) {
+    char* end = nullptr;
+    first = last = std::strtoull(s.c_str(), &end, 10);
+    return end != nullptr && *end == '\0' && !s.empty();
+  }
+  const std::string a = s.substr(0, dots);
+  const std::string b = s.substr(dots + 2);
+  if (a.empty() || b.empty()) return false;
+  char* end_a = nullptr;
+  char* end_b = nullptr;
+  first = std::strtoull(a.c_str(), &end_a, 10);
+  last = std::strtoull(b.c_str(), &end_b, 10);
+  return *end_a == '\0' && *end_b == '\0' && first <= last;
 }
 
 }  // namespace
@@ -267,6 +328,20 @@ int main(int argc, char** argv) {
       cli.record_path = args[++i];
     } else if (arg == "--diff" && i + 1 < nargs) {
       cli.diff_path = args[++i];
+    } else if (arg == "--sweep") {
+      cli.sweep = true;
+    } else if (arg == "--jobs" && i + 1 < nargs) {
+      cli.jobs = std::strtoull(args[++i].c_str(), nullptr, 10);
+      if (cli.jobs == 0) cli.jobs = 1;
+    } else if (arg == "--seeds" && i + 1 < nargs) {
+      if (!parse_seed_range(args[++i], cli.seed_first, cli.seed_last)) {
+        std::fprintf(stderr, "--seeds wants A..B (inclusive) or a single "
+                             "seed, got '%s'\n", args[i].c_str());
+        return 2;
+      }
+      cli.seeds_set = true;
+    } else if (arg == "--record-dir" && i + 1 < nargs) {
+      cli.record_dir = args[++i];
     } else {
       return usage();
     }
@@ -297,6 +372,46 @@ int main(int argc, char** argv) {
       (!cli.record_path.empty() || !cli.diff_path.empty())) {
     // A sharded run has one trace per shard, not one recordable stream.
     std::fprintf(stderr, "--record/--diff do not apply to --sharded runs\n");
+    return 2;
+  }
+  if (cli.sweep) {
+    if (cli.backend != "sim") {
+      // The sweep's determinism contract (and its one-world-per-thread
+      // isolation) is a simulator property; process fleets contend for
+      // real OS resources.
+      std::fprintf(stderr, "--sweep runs on the sim backend only\n");
+      return 2;
+    }
+    if (cli.sharded || !cli.record_path.empty() || !cli.diff_path.empty() ||
+        cli.trace_lines > 0) {
+      std::fprintf(stderr,
+                   "--sweep does not combine with --sharded/--record/--diff/"
+                   "--trace (use --record-dir for per-job traces)\n");
+      return 2;
+    }
+    if (!cli.all && cli.names.empty()) {
+      std::fprintf(stderr, "--sweep wants --all or at least one --run\n");
+      return 2;
+    }
+    std::vector<ScenarioSpec> specs;
+    if (cli.all) {
+      specs = library();
+    } else {
+      for (const std::string& name : cli.names) {
+        auto spec = find_scenario(name);
+        if (!spec) {
+          std::fprintf(stderr, "unknown scenario '%s' (try --list)\n",
+                       name.c_str());
+          return 2;
+        }
+        specs.push_back(*spec);
+      }
+    }
+    return run_sweep_mode(specs, cli) ? 0 : 1;
+  }
+  if (cli.jobs > 1 || cli.seeds_set || !cli.record_dir.empty()) {
+    std::fprintf(stderr,
+                 "--jobs/--seeds/--record-dir only apply to --sweep\n");
     return 2;
   }
 
