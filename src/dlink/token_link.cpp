@@ -9,11 +9,12 @@ namespace ssr::dlink {
 
 wire::Bytes Frame::encode() const {
   wire::Writer w;
-  w.reserve(1 + 4 + 1 + 4 + payload.size());
+  w.reserve(1 + 4 + 1 + 4 + payload.size() + 4);
   w.u8(static_cast<std::uint8_t>(kind));
   w.node_id(link_sender);
   w.u8(label);
   if (kind == FrameKind::kData) w.bytes(payload);
+  w.seal();
   return w.take();
 }
 
@@ -26,7 +27,13 @@ std::optional<Frame> Frame::decode(const wire::Bytes& raw) {
   f.link_sender = r.node_id();
   f.label = r.u8();
   if (f.kind == FrameKind::kData) f.payload = r.bytes();
+  // The seal (last u32) covers every preceding byte: a flipped bit in a
+  // value field decodes structurally but not semantically — without this,
+  // corrupt_probability runs can deliver a valid-looking message with
+  // different content (found by scenario_fuzz as a VS divergence).
+  const std::uint32_t seal = r.u32();
   if (!r.ok() || !r.exhausted()) return std::nullopt;
+  if (seal != wire::fnv1a32(raw.data(), raw.size() - 4)) return std::nullopt;
   return f;
 }
 
@@ -117,7 +124,7 @@ void TokenLink::transmit_current() {
   // retransmission neither copies tx_payload_ into a temporary Frame nor
   // allocates: the Writer buffer comes from the pool.
   wire::Writer w;
-  w.reserve(1 + 4 + 1 + 4 + tx_payload_.size());
+  w.reserve(1 + 4 + 1 + 4 + tx_payload_.size() + 4);
   if (tx_state_ == TxState::kCleaning) {
     w.u8(static_cast<std::uint8_t>(FrameKind::kClean));
     w.node_id(self_);
@@ -128,6 +135,7 @@ void TokenLink::transmit_current() {
     w.u8(tx_label_);
     w.bytes(tx_payload_);
   }
+  w.seal();
   transport_.send(self_, peer_, w.take());
 }
 

@@ -14,6 +14,27 @@ World::World(WorldConfig cfg)
   // population is one timer per node plus capacity-bounded in-flight
   // packets per channel pair; 4096 covers every library scenario.
   sched_.reserve(4096);
+  if (cfg_.adversary.enabled) {
+    adversary_ = std::make_unique<net::Adversary>(
+        sched_, Rng(cfg_.seed ^ 0xADE551ULL), cfg_.adversary);
+    // The believed coordinator: the VS layer's elected one when available,
+    // otherwise the lowest alive id (the deterministic tie-break every
+    // choose rule in Algorithm 3.1 leans toward).
+    adversary_->set_coordinator_probe([this]() -> NodeId {
+      for (const auto& [id, n] : nodes_) {
+        if (!n->started() || n->crashed()) continue;
+        vs::VsSmr* v = n->vs();
+        if (v != nullptr && !v->view().is_null() && !v->no_coordinator()) {
+          return v->coordinator();
+        }
+      }
+      for (const auto& [id, n] : nodes_) {
+        if (n->started() && !n->crashed()) return id;
+      }
+      return kNoNode;
+    });
+    net_.set_adversary(adversary_.get());
+  }
 }
 
 node::Node& World::add_stopped_node(NodeId id) {
@@ -73,6 +94,11 @@ bool World::converged() const {
     if (!n->recsa().no_reco()) return false;
     const reconf::ConfigValue& c = n->recsa().get_config_ref();
     if (!c.is_proper()) return false;
+    // Agreement alone is not a fixpoint: if the node's prediction policy
+    // already advises reconfiguration, a config change is imminent and a
+    // caller that marks the system stable here races it (scenario_fuzz
+    // shrank a closure violation down to exactly this window).
+    if (n->reconfig_advised()) return false;
     if (!common) {
       common = c.ids();
     } else if (!(*common == c.ids())) {

@@ -4,6 +4,7 @@
 #include <memory>
 #include <optional>
 
+#include "net/adversary.hpp"
 #include "net/sim_transport.hpp"
 #include "node/node.hpp"
 
@@ -12,6 +13,9 @@ namespace ssr::harness {
 struct WorldConfig {
   std::uint64_t seed = 1;
   net::ChannelConfig channel;
+  /// Worst-case delivery policy (disabled by default: every pinned replay
+  /// hash was recorded under uniform delays).
+  net::AdversaryConfig adversary;
   node::NodeConfig node;
 
   WorldConfig() {
@@ -48,6 +52,8 @@ class World {
 
   sim::Scheduler& scheduler() { return sched_; }
   net::Network& network() { return net_; }
+  /// Null unless WorldConfig::adversary.enabled.
+  net::Adversary* adversary() { return adversary_.get(); }
   net::Transport& transport() { return transport_; }
   const WorldConfig& config() const { return cfg_; }
   Rng& rng() { return rng_; }
@@ -77,6 +83,9 @@ class World {
   Rng rng_;
   sim::Scheduler sched_;
   net::Network net_;
+  /// Created (and installed on net_) before any channel exists, so every
+  /// lazily created channel sees the same policy pointer.
+  std::unique_ptr<net::Adversary> adversary_;
   net::SimTransport transport_;
   std::map<NodeId, std::unique_ptr<node::Node>> nodes_;
 };

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "sim/scheduler.hpp"
+#include "util/id_set.hpp"
+#include "util/rng.hpp"
+#include "wire/wire.hpp"
+
+namespace ssr::net {
+
+/// Knobs of the worst-case delivery policy. Every bias is a probability so
+/// the adversary degrades gracefully toward the uniform scheduler at 0 and
+/// is maximally hostile at 1; all biases stay inside the channel's
+/// [min_delay, max_delay] window, so fair communication (the paper's
+/// liveness prerequisite) is preserved — the adversary reorders, it never
+/// starves.
+struct AdversaryConfig {
+  bool enabled = false;
+  /// Frames touching the believed coordinator are pushed to the top of the
+  /// delay window with this probability (slows the node whose progress the
+  /// delicate-reconfiguration path depends on).
+  double coordinator_delay = 0.9;
+  /// Frames crossing the most recent partition boundary draw bimodal
+  /// (min-or-max) delays with this probability — maximal reordering exactly
+  /// where the merge-after-heal logic has to reconcile divergent state.
+  double boundary_reorder = 0.9;
+  /// Data frames retransmitting an already-seen ARQ label jump to the front
+  /// of the window while label *transitions* are held back, so stale copies
+  /// overtake fresh state with this probability.
+  double stale_first = 0.9;
+};
+
+/// Worst-case delivery scheduler: consulted by every Channel (when
+/// installed) to replace the uniform per-packet delay draw with biased
+/// interleavings. Self-stabilization is quantified over *arbitrary* fair
+/// executions; uniform sampling concentrates on the benign center of that
+/// space, while this policy steers toward the corners — delayed
+/// coordinators, cross-partition reorderings, stale-label overtakes.
+///
+/// Determinism: one Adversary lives per Network (per World); all extra
+/// randomness flows from its own seeded Rng, and its label/boundary state
+/// mutates only on the single simulator thread, so a (spec, seed) pair
+/// still names exactly one execution, and parallel sweep jobs stay
+/// byte-identical to serial ones.
+class Adversary {
+ public:
+  Adversary(sim::Scheduler& sched, Rng rng, AdversaryConfig cfg)
+      : sched_(sched), rng_(rng), cfg_(cfg) {}
+
+  /// Installed once by the World before traffic flows; polled (cached, see
+  /// kProbePeriod) to learn which node currently acts as coordinator.
+  // ssr-lint: allow(hot-path-alloc) std::function: assigned once at world
+  // construction, only invoked on the cached-probe slow path.
+  using CoordinatorProbe = std::function<NodeId()>;
+  void set_coordinator_probe(CoordinatorProbe probe) {
+    probe_ = std::move(probe);
+  }
+
+  /// Network::split() reports every cut; the last boundary is remembered
+  /// (also across heal(): packets racing through a *just-healed* boundary
+  /// are exactly the ones worth reordering).
+  void note_boundary(const IdSet& a, const IdSet& b) {
+    boundary_a_ = a;
+    boundary_b_ = b;
+  }
+
+  /// Replaces the uniform delay draw for one in-flight packet. `base` is
+  /// the channel's own uniform draw (kept so RNG stream shapes stay simple
+  /// to reason about); the result is always within [min_delay, max_delay].
+  SimTime delivery_delay(NodeId src, NodeId dst, const wire::Bytes& payload,
+                         SimTime base, SimTime min_delay, SimTime max_delay);
+
+  struct Stats {
+    std::uint64_t inspected = 0;
+    std::uint64_t coordinator_delayed = 0;
+    std::uint64_t boundary_reordered = 0;
+    std::uint64_t stale_preferred = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// Coordinator cache refresh period (virtual time). The probe walks the
+  /// node table, so it runs at fault-injection cadence, not per packet.
+  static constexpr SimTime kProbePeriod = 50 * kMsec;
+
+  bool crosses_boundary(NodeId src, NodeId dst) const {
+    return (boundary_a_.contains(src) && boundary_b_.contains(dst)) ||
+           (boundary_b_.contains(src) && boundary_a_.contains(dst));
+  }
+
+  sim::Scheduler& sched_;
+  Rng rng_;
+  AdversaryConfig cfg_;
+  // ssr-lint: allow(hot-path-alloc) std::function: set once per world, read
+  // every kProbePeriod, never per packet.
+  CoordinatorProbe probe_;
+  NodeId coordinator_ = kNoNode;
+  SimTime next_probe_ = 0;
+  IdSet boundary_a_;
+  IdSet boundary_b_;
+  /// Last ARQ label seen per directed link (key = src<<32|dst). One slot
+  /// per link, populated during warmup; steady state is pure lookups.
+  std::unordered_map<std::uint64_t, std::uint8_t> last_label_;
+  Stats stats_;
+};
+
+}  // namespace ssr::net

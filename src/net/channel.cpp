@@ -3,13 +3,14 @@
 namespace ssr::net {
 
 Channel::Channel(sim::Scheduler& sched, Rng rng, ChannelConfig cfg, NodeId src,
-                 NodeId dst, Deliver deliver)
+                 NodeId dst, Deliver deliver, Adversary* adversary)
     : sched_(sched),
       rng_(rng),
       cfg_(cfg),
       src_(src),
       dst_(dst),
-      deliver_(std::move(deliver)) {
+      deliver_(std::move(deliver)),
+      adversary_(adversary) {
   in_flight_.reserve(cfg_.capacity + 1);
 }
 
@@ -44,7 +45,14 @@ void Channel::schedule_delivery(wire::Bytes payload, bool count_as_send) {
     in_flight_[victim].cancel();  // frees the slot, recycles the buffer
     in_flight_.erase(in_flight_.begin() + static_cast<std::ptrdiff_t>(victim));
   }
-  const SimTime delay = rng_.next_range(cfg_.min_delay, cfg_.max_delay);
+  // The uniform draw always happens (one draw per scheduled packet keeps
+  // the channel's RNG stream shape independent of the adversary's rules);
+  // an installed adversary then remaps it within the same window.
+  SimTime delay = rng_.next_range(cfg_.min_delay, cfg_.max_delay);
+  if (adversary_ != nullptr) {
+    delay = adversary_->delivery_delay(src_, dst_, payload, delay,
+                                       cfg_.min_delay, cfg_.max_delay);
+  }
   if (cfg_.corrupt_probability > 0 && !payload.empty() &&
       rng_.chance(cfg_.corrupt_probability)) {
     ++stats_.corrupted;

@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "net/adversary.hpp"
 #include "net/packet.hpp"
 #include "sim/scheduler.hpp"
 #include "util/rng.hpp"
@@ -44,8 +45,11 @@ class Channel final : public sim::PacketSink {
   /// call: its payload buffer is recycled when the callback returns.
   using Deliver = std::function<void(Packet&)>;
 
+  /// `adversary` (optional) replaces the uniform delay draw with the
+  /// worst-case delivery policy; null keeps the pinned uniform behaviour
+  /// byte-identical.
   Channel(sim::Scheduler& sched, Rng rng, ChannelConfig cfg, NodeId src,
-          NodeId dst, Deliver deliver);
+          NodeId dst, Deliver deliver, Adversary* adversary = nullptr);
 
   /// Sends a payload. May silently omit (loss or capacity overflow). The
   /// buffer is consumed either way (recycled on omission).
@@ -91,6 +95,9 @@ class Channel final : public sim::PacketSink {
   NodeId src_;
   NodeId dst_;
   Deliver deliver_;
+  /// Worst-case delivery policy; null = uniform delays (the default, and
+  /// the behaviour every pinned replay hash was recorded under).
+  Adversary* adversary_ = nullptr;
   /// Live delivery events only, in insertion order. Order matters: the
   /// overflow victim draw indexes this vector, and the index → packet
   /// mapping is part of the pinned replay executions (which is why victims

@@ -24,7 +24,8 @@ Channel& Network::channel(NodeId src, NodeId dst) {
     };
     it = channels_
              .emplace(key, std::make_unique<Channel>(sched_, rng_.fork(), cfg_,
-                                                     src, dst, deliver))
+                                                     src, dst, deliver,
+                                                     adversary_))
              .first;
   }
   channel_index_.emplace(flat, it->second.get());
@@ -42,6 +43,9 @@ void Network::split(const IdSet& a, const IdSet& b) {
       if (x != y) block_pair(x, y);
     }
   }
+  // The adversary keeps targeting the most recent boundary — including
+  // after heal(), when reconciliation traffic crosses it.
+  if (adversary_ != nullptr) adversary_->note_boundary(a, b);
 }
 
 void Network::heal() { blocked_.clear(); }

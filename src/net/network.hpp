@@ -52,6 +52,13 @@ class Network {
 
   void send(NodeId src, NodeId dst, wire::Bytes payload);
 
+  /// Installs the worst-case delivery policy. Must be called before the
+  /// first channel is created (i.e. before any node sends); channels pick
+  /// the pointer up at construction. Null (the default) keeps the uniform
+  /// delay draws that every pinned replay hash was recorded under.
+  void set_adversary(Adversary* adversary) { adversary_ = adversary; }
+  Adversary* adversary() { return adversary_; }
+
   // -- Partitions -------------------------------------------------------------
   // A partition blocks packets at the send side in both directions; packets
   // already in flight still deliver (the fabric does not destroy traffic that
@@ -99,6 +106,8 @@ class Network {
   sim::Scheduler& sched_;
   Rng rng_;
   ChannelConfig cfg_;
+  /// Owned by the World (lives as long as the fabric); see set_adversary.
+  Adversary* adversary_ = nullptr;
   std::map<NodeId, Handler> handlers_;
   /// Bumped on every attach/detach; channels revalidate their cached
   /// handler pointer against it (map nodes are address-stable otherwise).

@@ -54,6 +54,11 @@ class Node {
   bool started() const { return started_; }
 
   NodeId id() const { return id_; }
+  /// True while the installed prediction policy advises reconfiguring the
+  /// current configuration. Harness convergence checks use it: agreement on
+  /// a config the policy is about to move is not a fixpoint (scenario_fuzz
+  /// found mark_stable racing a pending eviction through that gap).
+  bool reconfig_advised() { return eval_conf_(recsa_.get_config_ref().ids()); }
   fd::ThetaFD& failure_detector() { return fd_; }
   dlink::LinkMux& mux() { return mux_; }
   reconf::RecSA& recsa() { return recsa_; }

@@ -218,6 +218,78 @@ ScenarioSpec pause_through_heal() {
   return s;
 }
 
+ScenarioSpec joiner_adoption() {
+  ScenarioSpec s;
+  s.name = "joiner-adoption";
+  s.description =
+      "churn purely among joiners (two admitted, one of them crashes) with "
+      "no config member ever suspected; the configuration must still catch "
+      "up with the alive set — the shrunk scenario_fuzz counterexample that "
+      "motivated the adopt_joiners policy term";
+  s.initial_nodes = 3;
+  s.aggressive_policy = true;
+  s.adopt_joiners = true;
+  s.phases = {
+      {"converge", {A::await_converged(180 * kSec)}},
+      // Nodes 4 and 5 are admitted as participants of config {1,2,3}; node
+      // 5 crashes before any reconfiguration is obliged to happen. Neither
+      // event suspects a config member, so without the adoption term no
+      // eval trigger ever fires and the config stays {1,2,3} forever.
+      {"joiner-churn",
+       {A::add_nodes(2), A::await_participants({4, 5}, 600 * kSec),
+        A::crash({5}), A::await_config_equals_alive(900 * kSec)}},
+      {"closure",
+       {A::await_converged(600 * kSec), A::mark_stable(),
+        A::run_for(60 * kSec)}},
+  };
+  return s;
+}
+
+ScenarioSpec crash_then_stable() {
+  ScenarioSpec s;
+  s.name = "crash-then-stable";
+  s.description =
+      "two members crash, then the run demands convergence and closure; "
+      "promoted from a scenario_fuzz counterexample where await_converged "
+      "accepted agreement on the stale config before the failure detector "
+      "suspected the victims, and mark_stable raced the pending eviction";
+  s.initial_nodes = 5;
+  s.aggressive_policy = true;
+  s.phases = {
+      {"converge", {A::await_converged(180 * kSec)}},
+      // run_for bridges the FD blind window; the strengthened converged()
+      // predicate (policy quiet at every alive node) then holds the await
+      // open until the eviction reconfiguration has actually finished.
+      {"cull",
+       {A::crash({3, 5}), A::run_for(30 * kSec),
+        A::await_converged(900 * kSec)}},
+      {"closure", {A::mark_stable(), A::run_for(60 * kSec)}},
+  };
+  return s;
+}
+
+ScenarioSpec adversarial_bitflips() {
+  ScenarioSpec s;
+  s.name = "adversarial-bitflips";
+  s.description =
+      "full stack with the VS layer under worst-case scheduling plus 1% "
+      "wire bit flips; promoted from a scenario_fuzz counterexample where "
+      "a flipped bit inside a value field decoded as a valid message and "
+      "broke virtual synchrony — frames are sealed with fnv1a32 since";
+  s.initial_nodes = 5;
+  s.enable_vs = true;
+  s.corrupt_probability = 0.01;
+  s.adversarial = true;
+  s.phases = {
+      {"converge", {A::await_converged(600 * kSec)}},
+      {"blizzard", {A::run_for(60 * kSec)}},
+      {"settle",
+       {A::await_converged(1200 * kSec), A::await_vs_stable(1200 * kSec),
+        A::mark_stable(), A::run_for(60 * kSec)}},
+  };
+  return s;
+}
+
 ScenarioSpec vs_workload() {
   ScenarioSpec s;
   s.name = "vs-workload";
@@ -255,6 +327,9 @@ const std::vector<ScenarioSpec>& library() {
       crash_respawn(),
       stall_resume(),
       pause_through_heal(),
+      joiner_adoption(),
+      crash_then_stable(),
+      adversarial_bitflips(),
       vs_workload(),
   };
   return specs;

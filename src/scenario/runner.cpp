@@ -27,11 +27,28 @@ std::uint64_t digest_name(const std::string& s) {
   return h;
 }
 
-// Sets the "replace on any suspected member" prediction policy.
-void aggressive_policy(node::Node& n) {
-  n.set_eval_conf([&n](const IdSet& cfg) {
+// The "replace on any suspected member" prediction policy.
+reconf::RecMA::EvalConf aggressive_eval(node::Node& n) {
+  return [&n](const IdSet& cfg) {
     return cfg.intersection_size(n.failure_detector().trusted()) < cfg.size();
-  });
+  };
+}
+
+// Wraps `base` with the joiner-adoption term: also advise reconfiguration
+// while some trusted recSA participant is outside the configuration. Both
+// stock policies count only *suspected members*, so a cohort whose churn
+// never touches a config member (joins, or crashes of other joiners) keeps
+// its configuration frozen — estab(participants()) only ever piggybacks on
+// an eviction trigger. Opt-in (ScenarioSpec::adopt_joiners) so the pinned
+// default-policy traces stay byte-identical.
+reconf::RecMA::EvalConf with_adoption(node::Node& n,
+                                      reconf::RecMA::EvalConf base) {
+  return [&n, base = std::move(base)](const IdSet& cfg) {
+    if (base(cfg)) return true;
+    const IdSet admitted =
+        n.recsa().participants().intersect(n.failure_detector().trusted());
+    return !admitted.subset_of(cfg);
+  };
 }
 
 }  // namespace
@@ -42,6 +59,7 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec, std::uint64_t seed)
   cfg.seed = seed;
   cfg.node.enable_vs = spec_.enable_vs;
   cfg.channel.corrupt_probability = spec_.corrupt_probability;
+  cfg.adversary.enabled = spec_.adversarial;
   if (spec_.exhaust_bound != 0) {
     cfg.node.counter.exhaust_bound = spec_.exhaust_bound;
   }
@@ -57,7 +75,14 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec, std::uint64_t seed)
 NodeId ScenarioRunner::add_fresh_node() {
   const NodeId id = next_id_++;
   node::Node& n = world_->add_node(id);
-  if (spec_.aggressive_policy) aggressive_policy(n);
+  if (spec_.aggressive_policy || spec_.adopt_joiners) {
+    reconf::RecMA::EvalConf eval =
+        spec_.aggressive_policy
+            ? aggressive_eval(n)
+            : node::quarter_failed_policy(n.failure_detector());
+    if (spec_.adopt_joiners) eval = with_adoption(n, std::move(eval));
+    n.set_eval_conf(std::move(eval));
+  }
   trace_.attach_node(*world_, id);
   registry_->attach_node(id);
   trace_.record(TraceKind::kNodeAdded, id);

@@ -93,9 +93,22 @@ struct ScenarioSpec {
   bool enable_vs = false;
   /// Replace-on-any-suspect prediction policy (default: quarter policy).
   bool aggressive_policy = false;
+  /// Extends the prediction policy with a joiner-adoption term: advise
+  /// reconfiguration while some trusted recSA participant is missing from
+  /// the configuration. Without it, churn purely among joiners (no config
+  /// member ever suspected) leaves the configuration frozen forever — the
+  /// eval trigger counts only suspected members, and estab(participants())
+  /// fires solely on eviction triggers. Found by scenario_fuzz; see the
+  /// "joiner-adoption" library scenario for the minimal shape.
+  bool adopt_joiners = false;
   double corrupt_probability = 0.0;
   /// 0 = keep the counter default exhaustion bound.
   std::uint64_t exhaust_bound = 0;
+  /// Worst-case delivery scheduling (net::Adversary): delay the believed
+  /// coordinator's frames, reorder across partition boundaries, deliver
+  /// stale-label retransmissions first. Deterministic per (spec, seed);
+  /// simulator backend only (the process backend ignores it).
+  bool adversarial = false;
   std::vector<Phase> phases;
 };
 

@@ -79,7 +79,10 @@ class LatencyHistogram {
     return base + (sub + 1) * step - 1;
   }
 
-  std::uint32_t counts_[kBuckets] = {};
+  // Same width as count_: a uint32 here silently wraps after 2^32 samples
+  // land in one bucket (long sweeps merge many runs), skewing every
+  // percentile that walks past it while count() still reports the truth.
+  std::uint64_t counts_[kBuckets] = {};
   std::uint64_t count_ = 0;
   std::uint64_t max_us_ = 0;
 };

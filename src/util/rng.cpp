@@ -21,7 +21,12 @@ std::uint64_t Rng::next_below(std::uint64_t bound) {
 
 std::uint64_t Rng::next_range(std::uint64_t lo, std::uint64_t hi) {
   SSR_ASSERT(lo <= hi, "next_range requires lo <= hi");
-  return lo + next_below(hi - lo + 1);
+  const std::uint64_t span = hi - lo + 1;
+  // span == 0 means the full 64-bit range (hi - lo + 1 wrapped): every
+  // value is in range, so the raw draw is already the answer. Without this
+  // case the wrapped span would trip next_below's positive-bound assert.
+  if (span == 0) return next_u64();
+  return lo + next_below(span);
 }
 
 bool Rng::chance(double p) {

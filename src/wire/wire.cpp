@@ -2,6 +2,17 @@
 
 namespace ssr::wire {
 
+std::uint32_t fnv1a32(const std::uint8_t* data, std::size_t len) {
+  // 64-bit FNV-1a folded by xor — cheaper per byte than the 32-bit variant
+  // on 64-bit hardware and mixes the high bytes into the fold.
+  std::uint64_t h = 14695981039346656037ULL;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;
+  }
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
 BufferPool& BufferPool::local() {
   thread_local BufferPool pool;
   return pool;

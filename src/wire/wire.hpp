@@ -12,6 +12,14 @@ namespace ssr::wire {
 
 using Bytes = std::vector<std::uint8_t>;
 
+/// FNV-1a over a byte range, folded to 32 bits. The end-to-end frame
+/// integrity check: structural decode validation catches truncation and
+/// garbage, but a bit flip inside a value field yields a VALID message
+/// with different semantics — scenario_fuzz found exactly that as a
+/// virtual-synchrony violation under corrupt_prob + the adversarial
+/// scheduler. Every data-link frame is sealed with this digest.
+std::uint32_t fnv1a32(const std::uint8_t* data, std::size_t len);
+
 /// Freelist of payload buffers for the simulator/transport hot path.
 ///
 /// Every protocol message lives in a `Bytes` vector that is born in a
@@ -92,6 +100,11 @@ class Writer {
   /// Length-prefixed raw bytes (u32 count).
   void bytes(const Bytes& b);
   void str(const std::string& s);
+
+  /// Appends the fnv1a32 digest of everything written so far. Must be the
+  /// last write; the matching decoder reads the digest as its final u32
+  /// field and re-hashes the preceding bytes.
+  void seal() { u32(fnv1a32(out_.data(), out_.size())); }
 
   const Bytes& data() const { return out_; }
   Bytes take() { return std::move(out_); }

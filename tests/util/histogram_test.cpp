@@ -66,6 +66,20 @@ TEST(LatencyHistogram, MergeEqualsDirectRecording) {
   }
 }
 
+TEST(LatencyHistogram, BucketsSurvivePastFourBillionSamples) {
+  // Per-bucket counters must be as wide as count_: a uint32 bucket wraps
+  // to zero after 2^32 samples while count() keeps the true total, so
+  // every percentile walk skips the wrapped bucket and reports a wildly
+  // inflated value. Amplify by self-merge doubling instead of 2^33 calls.
+  LatencyHistogram h;
+  h.record(10);
+  for (int i = 0; i < 33; ++i) h.merge(h);  // bucket[10] = 2^33
+  h.record(1'000'000);
+  EXPECT_EQ(h.count(), (1ULL << 33) + 1);
+  EXPECT_EQ(h.percentile(50), 10u);
+  EXPECT_EQ(h.max(), 1'000'000u);
+}
+
 TEST(LatencyHistogram, MergeEmptyIsIdentity) {
   LatencyHistogram h, empty;
   h.record(42);

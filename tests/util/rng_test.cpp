@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 namespace ssr {
@@ -36,6 +37,37 @@ TEST(Rng, NextRangeInclusive) {
     seen.insert(v);
   }
   EXPECT_EQ(seen.size(), 3u);  // all values hit
+}
+
+TEST(Rng, NextRangeFullWidth) {
+  // hi - lo + 1 wraps to 0 over the full 64-bit range; the draw must come
+  // straight from next_u64 instead of tripping next_below's bound assert.
+  Rng r(17);
+  std::set<std::uint64_t> seen;
+  bool high = false, low = false;
+  for (int i = 0; i < 256; ++i) {
+    const auto v = r.next_range(0, std::numeric_limits<std::uint64_t>::max());
+    seen.insert(v);
+    high = high || v > (1ULL << 63);
+    low = low || v < (1ULL << 63);
+  }
+  EXPECT_EQ(seen.size(), 256u);  // no collisions expected in 256 draws
+  EXPECT_TRUE(high);
+  EXPECT_TRUE(low);
+  // And the stream stays aligned with a plain next_u64 sequence.
+  Rng a(23), b(23);
+  EXPECT_EQ(a.next_range(0, std::numeric_limits<std::uint64_t>::max()),
+            b.next_u64());
+}
+
+TEST(Rng, NextRangeSingleValue) {
+  Rng r(19);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(r.next_range(7, 7), 7u);
+    EXPECT_EQ(r.next_range(0, 0), 0u);
+    const auto top = std::numeric_limits<std::uint64_t>::max();
+    EXPECT_EQ(r.next_range(top, top), top);
+  }
 }
 
 TEST(Rng, ChanceExtremes) {

@@ -1,0 +1,207 @@
+// scenario_fuzz — adversarial ScenarioSpec fuzzing with shrinking.
+//
+//   scenario_fuzz [--seed N] [--cases K] [--jobs N] [--out DIR]
+//                 [--budget-sec S] [--no-adversary] [--shrink-runs M]
+//                 [--print-specs]
+//
+// Generates (spec, seed) cases that splice and perturb the scenario
+// library — fault timing, churn order, partition shape, workload mix —
+// runs them on a SweepRunner worker pool, and greedily shrinks every
+// failure to a minimal repro. A campaign is a pure function of --seed:
+// the same seed re-finds the same counterexamples at any --jobs.
+//
+//   --seed N         master seed (default 1); case i is (seed, i)-pure
+//   --cases K        cases to run (default 50)
+//   --jobs N         sweep worker threads (default 1)
+//   --out DIR        save each counterexample as DIR/cex-<i>.spec (shrunk),
+//                    DIR/cex-<i>.orig.spec, and DIR/cex-<i>.trace (the
+//                    shrunk repro's trace stream) — the CI artifact flow
+//   --budget-sec S   wall-clock cap: cases run in batches and the campaign
+//                    stops starting new batches once S seconds elapsed
+//                    (a budget cut changes how MANY cases run, never what
+//                    any case does)
+//   --batch K        cases per budget batch (default: jobs, min 8)
+//   --shrink-runs M  re-execution budget per shrink (default 250)
+//   --no-adversary   generate only fair-scheduler specs
+//   --print-specs    dump every generated spec (debugging the generator)
+//
+// Exit status: 0 when every case passed, 1 when any counterexample was
+// found, 2 on usage errors.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "scenario/fuzz.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec_io.hpp"
+
+namespace {
+
+using namespace ssr;
+using namespace ssr::scenario;
+
+struct CliOptions {
+  FuzzOptions fuzz;
+  std::string out_dir;
+  double budget_sec = 0;  // 0 = no wall-clock cap
+  std::size_t batch = 0;  // 0 = derive from jobs
+  bool print_specs = false;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: scenario_fuzz [options]\n"
+      "  --seed N         master seed (default 1)\n"
+      "  --cases K        cases to run (default 50)\n"
+      "  --jobs N         sweep worker threads (default 1)\n"
+      "  --out DIR        save counterexample spec + trace files into DIR\n"
+      "  --budget-sec S   stop starting new batches after S wall seconds\n"
+      "  --batch K        cases per budget batch (default: jobs, min 8)\n"
+      "  --shrink-runs M  shrink re-execution budget (default 250)\n"
+      "  --no-adversary   generate only fair-scheduler specs\n"
+      "  --print-specs    dump every generated spec\n");
+  return 2;
+}
+
+/// Saves one counterexample triple (shrunk spec, original spec, trace of
+/// the shrunk repro). Returns false on any I/O failure.
+bool save_counterexample(const std::string& dir, std::uint64_t index,
+                         const Counterexample& cex) {
+  const std::string base = dir + "/cex-" + std::to_string(index);
+  if (!save_spec_file(base + ".spec", cex.spec)) return false;
+  if (!save_spec_file(base + ".orig.spec", cex.original)) return false;
+  // Re-run the shrunk spec to capture its trace stream (run_scenario
+  // reports only the hash; the artifact wants the replayable events).
+  ScenarioRunner runner(cex.spec, cex.run_seed);
+  runner.run();
+  std::ofstream trace(base + ".trace");
+  if (!trace) return false;
+  runner.trace().save(trace);
+  std::printf("  saved %s.spec / .orig.spec / .trace\n", base.c_str());
+  return static_cast<bool>(trace);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      args.push_back(arg.substr(0, eq));
+      args.push_back(arg.substr(eq + 1));
+    } else {
+      args.push_back(arg);
+    }
+  }
+  const int nargs = static_cast<int>(args.size());
+  for (int i = 0; i < nargs; ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--seed" && i + 1 < nargs) {
+      cli.fuzz.seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (arg == "--cases" && i + 1 < nargs) {
+      cli.fuzz.cases = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (arg == "--jobs" && i + 1 < nargs) {
+      cli.fuzz.jobs = std::strtoull(args[++i].c_str(), nullptr, 10);
+      if (cli.fuzz.jobs == 0) cli.fuzz.jobs = 1;
+    } else if (arg == "--out" && i + 1 < nargs) {
+      cli.out_dir = args[++i];
+    } else if (arg == "--budget-sec" && i + 1 < nargs) {
+      cli.budget_sec = std::strtod(args[++i].c_str(), nullptr);
+    } else if (arg == "--batch" && i + 1 < nargs) {
+      cli.batch = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (arg == "--shrink-runs" && i + 1 < nargs) {
+      cli.fuzz.max_shrink_runs = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (arg == "--no-adversary") {
+      cli.fuzz.allow_adversarial = false;
+    } else if (arg == "--print-specs") {
+      cli.print_specs = true;
+    } else {
+      return usage();
+    }
+  }
+  if (cli.fuzz.cases == 0) return 0;
+
+  Fuzzer fuzzer(cli.fuzz);
+
+  if (cli.print_specs) {
+    for (std::uint64_t i = 0; i < cli.fuzz.cases; ++i) {
+      std::printf("# case %llu, run seed %llu\n%s\n",
+                  static_cast<unsigned long long>(i),
+                  static_cast<unsigned long long>(fuzzer.run_seed(i)),
+                  spec_to_string(fuzzer.generate(i)).c_str());
+    }
+    std::fflush(stdout);
+  }
+
+  const std::size_t batch =
+      cli.batch > 0 ? cli.batch : std::max<std::size_t>(cli.fuzz.jobs, 8);
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed_sec = [&start]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  std::size_t cases_run = 0;
+  std::size_t failures = 0;
+  std::uint64_t next_index = 0;
+  bool io_ok = true;
+  while (next_index < cli.fuzz.cases) {
+    if (cli.budget_sec > 0 && cases_run > 0 && elapsed_sec() > cli.budget_sec) {
+      std::printf("budget: %.0fs elapsed, stopping after case %llu of %zu\n",
+                  elapsed_sec(), static_cast<unsigned long long>(next_index),
+                  cli.fuzz.cases);
+      break;
+    }
+    const std::size_t count = static_cast<std::size_t>(
+        std::min<std::uint64_t>(batch, cli.fuzz.cases - next_index));
+    FuzzReport report = fuzzer.run_range(next_index, count);
+    cases_run += report.cases_run;
+    failures += report.failures;
+    std::printf("batch [%llu, %llu): %zu ok, %zu failing (%.0fs elapsed)\n",
+                static_cast<unsigned long long>(next_index),
+                static_cast<unsigned long long>(next_index + count),
+                report.cases_run - report.failures, report.failures,
+                elapsed_sec());
+    std::fflush(stdout);
+    for (std::size_t i = 0; i < report.counterexamples.size(); ++i) {
+      const Counterexample& cex = report.counterexamples[i];
+      std::printf("counterexample: %s seed=%llu signature=\"%s\" "
+                  "(shrunk in %zu runs)\n",
+                  cex.spec.name.c_str(),
+                  static_cast<unsigned long long>(cex.run_seed),
+                  cex.signature.c_str(), cex.shrink_runs);
+      std::printf("%s", spec_to_string(cex.spec).c_str());
+      if (!cli.out_dir.empty()) {
+        // Index by the case number so re-runs overwrite deterministically.
+        std::uint64_t case_index = next_index;
+        std::size_t seen = 0;
+        for (std::size_t j = 0; j < report.results.size(); ++j) {
+          if (!report.results[j].ok && seen++ == i) {
+            case_index = next_index + j;
+            break;
+          }
+        }
+        io_ok = save_counterexample(cli.out_dir, case_index, cex) && io_ok;
+      }
+    }
+    next_index += count;
+  }
+
+  std::printf("fuzz: seed=%llu cases=%zu failures=%zu jobs=%zu wall=%.1fs\n",
+              static_cast<unsigned long long>(cli.fuzz.seed), cases_run,
+              failures, cli.fuzz.jobs, elapsed_sec());
+  if (!io_ok) {
+    std::fprintf(stderr, "failed to save one or more counterexamples\n");
+    return 2;
+  }
+  return failures == 0 ? 0 : 1;
+}

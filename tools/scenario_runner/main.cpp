@@ -4,6 +4,10 @@
 //   scenario_runner --list                 enumerate scenarios
 //   scenario_runner --run NAME [--run NAME2 ...] [--seed N]
 //   scenario_runner --all [--seed N]       run every scenario
+//   scenario_runner --spec FILE            run a spec_io file (the fuzzer's
+//                                          counterexample format)
+//   scenario_runner --adversary            force worst-case delivery
+//                                          scheduling on the selected specs
 //   scenario_runner --trace K              also dump the first K trace events
 //
 // Backend selection:
@@ -43,6 +47,7 @@
 
 #include "scenario/library.hpp"
 #include "scenario/runner.hpp"
+#include "scenario/spec_io.hpp"
 #include "scenario/sweep.hpp"
 #include "shard/sharded_scenario.hpp"
 #include "shard/sharded_sim.hpp"
@@ -60,6 +65,8 @@ struct CliOptions {
   bool list = false;
   bool all = false;
   std::vector<std::string> names;
+  std::vector<std::string> spec_files;
+  bool adversary = false;
   bool sharded = false;
   std::uint64_t seed = 1;
   std::size_t trace_lines = 0;
@@ -244,8 +251,13 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: scenario_runner --list\n"
-      "       scenario_runner (--run NAME)... | --all  [options]\n"
+      "       scenario_runner (--run NAME | --spec FILE)... | --all"
+      "  [options]\n"
       "options:\n"
+      "  --spec FILE       run a spec_io scenario file (the format fuzz\n"
+      "                    counterexamples are saved in)\n"
+      "  --adversary       force worst-case delivery scheduling on every\n"
+      "                    selected spec (sim backend)\n"
       "  --sharded         use the multi-shard scenario library (K node\n"
       "                    fleets + client-side router; both backends)\n"
       "  --seed N          runner seed (default 1)\n"
@@ -310,6 +322,10 @@ int main(int argc, char** argv) {
       cli.sharded = true;
     } else if (arg == "--run" && i + 1 < nargs) {
       cli.names.push_back(args[++i]);
+    } else if (arg == "--spec" && i + 1 < nargs) {
+      cli.spec_files.push_back(args[++i]);
+    } else if (arg == "--adversary") {
+      cli.adversary = true;
     } else if (arg == "--seed" && i + 1 < nargs) {
       cli.seed = std::strtoull(args[++i].c_str(), nullptr, 10);
     } else if (arg == "--trace" && i + 1 < nargs) {
@@ -356,8 +372,18 @@ int main(int argc, char** argv) {
     return 2;
   }
   if ((!cli.record_path.empty() || !cli.diff_path.empty()) &&
-      (cli.all || cli.names.size() != 1)) {
-    std::fprintf(stderr, "--record/--diff need exactly one --run\n");
+      (cli.all || cli.names.size() + cli.spec_files.size() != 1)) {
+    std::fprintf(stderr, "--record/--diff need exactly one --run/--spec\n");
+    return 2;
+  }
+  if (cli.adversary && cli.backend != "sim") {
+    // The worst-case delivery scheduler lives inside the simulated fabric;
+    // real UDP offers no delivery-order hook.
+    std::fprintf(stderr, "--adversary works on the sim backend only\n");
+    return 2;
+  }
+  if (cli.sharded && (cli.adversary || !cli.spec_files.empty())) {
+    std::fprintf(stderr, "--spec/--adversary do not apply to --sharded\n");
     return 2;
   }
   if ((!cli.record_path.empty() || !cli.diff_path.empty()) &&
@@ -389,8 +415,9 @@ int main(int argc, char** argv) {
                    "--trace (use --record-dir for per-job traces)\n");
       return 2;
     }
-    if (!cli.all && cli.names.empty()) {
-      std::fprintf(stderr, "--sweep wants --all or at least one --run\n");
+    if (!cli.all && cli.names.empty() && cli.spec_files.empty()) {
+      std::fprintf(stderr,
+                   "--sweep wants --all or at least one --run/--spec\n");
       return 2;
     }
     std::vector<ScenarioSpec> specs;
@@ -406,6 +433,17 @@ int main(int argc, char** argv) {
         }
         specs.push_back(*spec);
       }
+      for (const std::string& path : cli.spec_files) {
+        auto spec = load_spec_file(path);
+        if (!spec) {
+          std::fprintf(stderr, "cannot load spec file '%s'\n", path.c_str());
+          return 2;
+        }
+        specs.push_back(*spec);
+      }
+    }
+    if (cli.adversary) {
+      for (ScenarioSpec& spec : specs) spec.adversarial = true;
     }
     return run_sweep_mode(specs, cli) ? 0 : 1;
   }
@@ -431,13 +469,24 @@ int main(int argc, char** argv) {
       }
     } else {
       for (const auto& s : library()) {
-        ok = run_one(s, cli) && ok;
+        ScenarioSpec spec = s;
+        if (cli.adversary) spec.adversarial = true;
+        ok = run_one(spec, cli) && ok;
       }
     }
     return ok ? 0 : 1;
   }
-  if (!cli.names.empty()) {
+  if (!cli.names.empty() || !cli.spec_files.empty()) {
     bool ok = true;
+    for (const std::string& path : cli.spec_files) {
+      auto spec = load_spec_file(path);
+      if (!spec) {
+        std::fprintf(stderr, "cannot load spec file '%s'\n", path.c_str());
+        return 2;
+      }
+      if (cli.adversary) spec->adversarial = true;
+      ok = run_one(*spec, cli) && ok;
+    }
     for (const std::string& name : cli.names) {
       if (cli.sharded) {
         auto spec = shard::find_sharded_scenario(name);
@@ -457,6 +506,7 @@ int main(int argc, char** argv) {
                      name.c_str());
         return 2;
       }
+      if (cli.adversary) spec->adversarial = true;
       ok = run_one(*spec, cli) && ok;
     }
     return ok ? 0 : 1;
